@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 14: the paper's three policies applied cumulatively.
+ *
+ * Bars per configuration: focused (Fields et al., the Fig. 4
+ * baseline), 'l' = + LoC-based scheduling, 's' = + stall-over-steer,
+ * 'p' = + proactive load-balancing (8-cluster machine only, as in the
+ * paper). All normalized to a monolithic machine using LoC-based
+ * scheduling. Also reports the headline stat: the penalty reduction
+ * per configuration (paper: 42% / 57% / 66%) and the fwd/contention
+ * components.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace csim;
+
+namespace {
+
+struct Cell
+{
+    double cpi = 0.0;
+    double fwd = 0.0;
+    double contention = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    ExperimentConfig cfg;
+
+    std::vector<std::string> columns;
+    for (unsigned n : {2u, 4u, 8u}) {
+        const std::string base = std::to_string(n);
+        columns.push_back(base);          // focused
+        columns.push_back(base + "l");    // + LoC scheduling
+        columns.push_back(base + "s");    // + stall-over-steer
+        if (n == 8)
+            columns.push_back(base + "p"); // + proactive LB
+    }
+
+    FigureGrid grid("=== Figure 14: policy progression (CPI "
+                    "normalized to 1x8w with LoC scheduling) ===",
+                    columns);
+    FigureGrid fwd_grid("--- fwd.delay CPI component (same "
+                        "normalization) ---", columns);
+    FigureGrid cont_grid("--- contention CPI component ---", columns);
+
+    for (const std::string &wl : workloadNames()) {
+        AggregateResult mono = runAggregate(
+            wl, MachineConfig::monolithic(), PolicyKind::FocusedLoc,
+            cfg);
+        const double base_cpi = mono.cpi();
+
+        auto run_cell = [&](unsigned n, PolicyKind kind,
+                            const std::string &col) {
+            AggregateResult res = runAggregate(
+                wl, MachineConfig::clustered(n), kind, cfg);
+            grid.set(wl, col, res.cpi() / base_cpi);
+            fwd_grid.set(wl, col,
+                         res.categoryCpi(CpCategory::FwdDelay) /
+                             base_cpi);
+            cont_grid.set(wl, col,
+                          res.categoryCpi(CpCategory::Contention) /
+                              base_cpi);
+        };
+
+        for (unsigned n : {2u, 4u, 8u}) {
+            const std::string b = std::to_string(n);
+            run_cell(n, PolicyKind::Focused, b);
+            run_cell(n, PolicyKind::FocusedLoc, b + "l");
+            run_cell(n, PolicyKind::FocusedLocStall, b + "s");
+            if (n == 8)
+                run_cell(n, PolicyKind::FocusedLocStallProactive,
+                         b + "p");
+        }
+        std::fprintf(stderr, "  %s done\n", wl.c_str());
+    }
+
+    std::printf("%s\n", grid.str().c_str());
+    std::printf("%s\n", fwd_grid.str().c_str());
+    std::printf("%s\n", cont_grid.str().c_str());
+
+    // Headline: penalty reduction from 'focused' to the full stack.
+    std::printf("--- penalty reduction (paper: 42%% / 57%% / 66%%) "
+                "---\n");
+    for (unsigned n : {2u, 4u, 8u}) {
+        const std::string b = std::to_string(n);
+        const std::string last = n == 8 ? b + "p" : b + "s";
+        const double before = grid.columnAverage(b) - 1.0;
+        const double after = grid.columnAverage(last) - 1.0;
+        std::printf("%ux%uw: penalty %.3f -> %.3f  (reduction "
+                    "%.0f%%)\n",
+                    n, 8 / n, before, after,
+                    before > 0 ? 100.0 * (before - after) / before
+                               : 0.0);
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 15: achieved vs available ILP on the 8x1w machine under the
+ * full policy stack. Available ILP = ready instructions across all
+ * clusters that cycle; achieved = instructions actually issued. The
+ * paper's shape: achieved tracks available at low ILP, saturates well
+ * below 8 when available ILP is near the machine width (the
+ * distributed-steering information gap), and recovers toward 8 when
+ * available ILP is abundant.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace csim;
+
+int
+main()
+{
+    ExperimentConfig cfg;
+    cfg.simOptions.collectIlp = true;
+
+    const unsigned max_avail = 24;
+    std::vector<double> issued_sum(max_avail + 1, 0.0);
+    std::vector<double> cycles_sum(max_avail + 1, 0.0);
+
+    for (const std::string &wl : workloadNames()) {
+        for (std::uint64_t seed : cfg.seeds) {
+            WorkloadConfig wcfg;
+            wcfg.targetInstructions = cfg.instructions;
+            wcfg.seed = seed;
+            Trace trace = buildAnnotatedTrace(wl, wcfg);
+            PolicyRun run = runPolicy(
+                trace, MachineConfig::clustered(8),
+                PolicyKind::FocusedLocStallProactive, cfg);
+            for (std::size_t a = 0;
+                 a < run.sim.ilpCycles.size(); ++a) {
+                const std::size_t b = std::min<std::size_t>(a,
+                                                            max_avail);
+                issued_sum[b] += static_cast<double>(
+                    run.sim.ilpIssuedSum[a]);
+                cycles_sum[b] += static_cast<double>(
+                    run.sim.ilpCycles[a]);
+            }
+        }
+        std::fprintf(stderr, "  %s done\n", wl.c_str());
+    }
+
+    std::printf("=== Figure 15: achieved vs available ILP, 8x1w, "
+                "full policy stack (all benchmarks) ===\n\n");
+    std::printf("%10s  %12s  %14s\n", "available", "achieved",
+                "cycles (frac)");
+    double total_cycles = 0.0;
+    for (double c : cycles_sum)
+        total_cycles += c;
+    for (unsigned a = 0; a <= max_avail; ++a) {
+        if (cycles_sum[a] == 0.0)
+            continue;
+        const double achieved = issued_sum[a] / cycles_sum[a];
+        std::printf("%9u%s  %12.2f  %13.1f%%  %s\n", a,
+                    a == max_avail ? "+" : " ", achieved,
+                    100.0 * cycles_sum[a] / total_cycles,
+                    std::string(static_cast<std::size_t>(
+                                    6.0 * achieved), '*').c_str());
+    }
+    std::printf("\nPaper: achieved ILP tracks available ILP up to "
+                "~4-5, then saturates below the 8-wide peak near the "
+                "machine width and approaches it again only when "
+                "plenty of ready instructions exist per cluster.\n");
+    return 0;
+}

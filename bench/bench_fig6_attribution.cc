@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 6: where the lost cycles went, under focused steering and
+ * scheduling.
+ *
+ * (a) Contention stalls on the critical path, split by whether the
+ *     stalled instruction had been predicted critical — the paper
+ *     finds up to two-thirds are predicted-critical instructions
+ *     contending with each other (the motivation for LoC).
+ * (b) Critical forwarding-delay events split by cause: load-balance
+ *     steering, dyadic instructions with split producers, and other —
+ *     the paper finds load-balance steering dominates except in
+ *     bzip2/crafty where dyadics (convergent dataflow) do.
+ *
+ * Counts are reported per 10k instructions (the paper plots absolute
+ * millions over 100M-instruction runs).
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace csim;
+
+int
+main()
+{
+    ExperimentConfig cfg;
+
+    std::printf("=== Figure 6: critical-path event attribution "
+                "(focused policy; events per 10k instructions) "
+                "===\n\n");
+
+    TextTable ta({"benchmark", "config", "contention:critical",
+                  "contention:other", "fwd:loadbal", "fwd:dyadic",
+                  "fwd:other"});
+
+    double crit_sum = 0.0, other_sum = 0.0;
+    double lb_sum = 0.0, dy_sum = 0.0, ot_sum = 0.0;
+    int cells = 0;
+
+    for (const std::string &wl : workloadNames()) {
+        for (unsigned n : {2u, 4u, 8u}) {
+            AggregateResult res = runAggregate(
+                wl, MachineConfig::clustered(n), PolicyKind::Focused,
+                cfg);
+            const double scale =
+                10000.0 / static_cast<double>(res.instructions);
+            auto fmt = [&](std::uint64_t v) {
+                return formatDouble(static_cast<double>(v) * scale, 1);
+            };
+            ta.addRow({wl, MachineConfig::clustered(n).name(),
+                       fmt(res.contentionEventsCritical),
+                       fmt(res.contentionEventsOther),
+                       fmt(res.fwdEventsLoadBal),
+                       fmt(res.fwdEventsDyadic),
+                       fmt(res.fwdEventsOther)});
+            crit_sum += res.contentionEventsCritical * scale;
+            other_sum += res.contentionEventsOther * scale;
+            lb_sum += res.fwdEventsLoadBal * scale;
+            dy_sum += res.fwdEventsDyadic * scale;
+            ot_sum += res.fwdEventsOther * scale;
+            ++cells;
+        }
+        std::fprintf(stderr, "  %s done\n", wl.c_str());
+    }
+
+    std::printf("%s\n", ta.str().c_str());
+    std::printf("AVE/10k-inst: contention critical %.1f vs other "
+                "%.1f (%.0f%% critical);\n"
+                "             fwd loadbal %.1f, dyadic %.1f, other "
+                "%.1f\n",
+                crit_sum / cells, other_sum / cells,
+                100.0 * crit_sum / (crit_sum + other_sum),
+                lb_sum / cells, dy_sum / cells, ot_sum / cells);
+    std::printf("Paper: ~2/3 of contention stalls hit "
+                "predicted-critical instructions; load-balance "
+                "steering dominates forwarding except in "
+                "bzip2/crafty (dyadic).\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Section 2.2, footnote 3: stability of the idealized result across
+ * inter-cluster forwarding latencies of 1-4 cycles. The paper: with a
+ * 4-cycle penalty the 2x4w/4x2w averages stay under 2% and 8x1w
+ * degrades to a little over 4%. Also sweeps the full policy stack for
+ * comparison.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace csim;
+
+int
+main()
+{
+    ExperimentConfig cfg;
+
+    std::printf("=== Footnote 3: forwarding-latency sweep (average "
+                "CPI normalized to 1x8w) ===\n\n");
+    TextTable t({"fwd latency", "mode", "2x4w", "4x2w", "8x1w"});
+
+    for (unsigned lat : {1u, 2u, 3u, 4u}) {
+        for (int mode = 0; mode < 2; ++mode) {
+            double avg[3] = {0.0, 0.0, 0.0};
+            for (const std::string &wl : workloadNames()) {
+                MachineConfig mono = MachineConfig::monolithic();
+                mono.fwdLatency = lat;
+                const double base = mode == 0
+                    ? runIdealAggregate(wl, mono, cfg).cpi()
+                    : runAggregate(wl, mono, PolicyKind::FocusedLoc,
+                                   cfg).cpi();
+                int idx = 0;
+                for (unsigned n : {2u, 4u, 8u}) {
+                    MachineConfig mc = MachineConfig::clustered(n);
+                    mc.fwdLatency = lat;
+                    const double cpi = mode == 0
+                        ? runIdealAggregate(wl, mc, cfg).cpi()
+                        : runAggregate(
+                              wl, mc,
+                              n == 8
+                                  ? PolicyKind::
+                                        FocusedLocStallProactive
+                                  : PolicyKind::FocusedLocStall,
+                              cfg).cpi();
+                    avg[idx++] += cpi / base;
+                }
+            }
+            const double k =
+                static_cast<double>(workloadNames().size());
+            t.addRow({std::to_string(lat),
+                      mode == 0 ? "ideal" : "policies",
+                      formatDouble(avg[0] / k, 3),
+                      formatDouble(avg[1] / k, 3),
+                      formatDouble(avg[2] / k, 3)});
+        }
+        std::fprintf(stderr, "  latency %u done\n", lat);
+    }
+
+    std::printf("%s\n", t.str().c_str());
+    std::printf("Paper: the idealized averages stay below ~2%% (8x1w "
+                "~4%%) even at a 4-cycle forwarding latency; trends, "
+                "not absolutes, are the claim.\n");
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * simulator's building blocks — functional emulation, trace
+ * annotation, the clustered timing loop, the critical-path walk and
+ * the predictors. Useful for keeping the simulator fast enough for
+ * paper-scale sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/timing_sim.hh"
+#include "critpath/attribution.hh"
+#include "frontend/gshare.hh"
+#include "mem/cache.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "predict/loc_predictor.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace csim;
+
+Trace &
+sharedTrace()
+{
+    static Trace trace = [] {
+        WorkloadConfig w;
+        w.targetInstructions = 20000;
+        w.seed = 1;
+        return buildAnnotatedTrace("vpr", w);
+    }();
+    return trace;
+}
+
+void
+BM_Emulator(benchmark::State &state)
+{
+    WorkloadConfig w;
+    w.targetInstructions = 20000;
+    w.seed = 1;
+    for (auto _ : state) {
+        Trace t = buildWorkloadTrace("vpr", w);
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_Emulator);
+
+void
+BM_AnnotationPasses(benchmark::State &state)
+{
+    WorkloadConfig w;
+    w.targetInstructions = 20000;
+    w.seed = 1;
+    Trace raw = buildWorkloadTrace("vpr", w);
+    for (auto _ : state) {
+        Trace t = raw;
+        t.linkProducers();
+        annotateBranches(t);
+        annotateMemory(t);
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_AnnotationPasses);
+
+void
+BM_TimingSimMonolithic(benchmark::State &state)
+{
+    Trace &trace = sharedTrace();
+    for (auto _ : state) {
+        UnifiedSteering steer(UnifiedSteeringOptions{}, nullptr,
+                              nullptr);
+        AgeScheduling age;
+        SimResult r = TimingSim(MachineConfig::monolithic(), trace,
+                                steer, age).run();
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_TimingSimMonolithic);
+
+void
+BM_TimingSimClustered8(benchmark::State &state)
+{
+    Trace &trace = sharedTrace();
+    for (auto _ : state) {
+        UnifiedSteering steer(UnifiedSteeringOptions{}, nullptr,
+                              nullptr);
+        AgeScheduling age;
+        SimResult r = TimingSim(MachineConfig::clustered(8), trace,
+                                steer, age).run();
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_TimingSimClustered8);
+
+void
+BM_CriticalPathWalk(benchmark::State &state)
+{
+    Trace &trace = sharedTrace();
+    UnifiedSteering steer(UnifiedSteeringOptions{}, nullptr, nullptr);
+    AgeScheduling age;
+    SimResult r = TimingSim(MachineConfig::clustered(4), trace, steer,
+                            age).run();
+    for (auto _ : state) {
+        CpBreakdown bd =
+            analyzeFullRun(trace, r, MachineConfig::clustered(4));
+        benchmark::DoNotOptimize(bd.total());
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_CriticalPathWalk);
+
+void
+BM_Gshare(benchmark::State &state)
+{
+    GsharePredictor pred(16);
+    Addr pc = 0x1000;
+    std::uint64_t x = 12345;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1;
+        benchmark::DoNotOptimize(
+            pred.mispredicts(pc + (x & 0xff) * 4, (x >> 20) & 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gshare);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache l1;
+    std::uint64_t x = 99;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1;
+        benchmark::DoNotOptimize(l1.access((x & 0xfffff) << 3));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_LocPredictor(benchmark::State &state)
+{
+    LocPredictor loc;
+    std::uint64_t x = 7;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1;
+        loc.train(0x1000 + (x & 0xff) * 4, (x >> 17) & 1);
+        benchmark::DoNotOptimize(loc.level(0x1000 + (x & 0xff) * 4));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocPredictor);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

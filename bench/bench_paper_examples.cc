@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The paper's illustrative code examples, run quantitatively:
+ *
+ *  - Fig. 9: a single dependent-add chain. Dependence steering
+ *    load-balances it across every cluster (one forwarding delay per
+ *    window fill); stall-over-steer keeps it home.
+ *  - Fig. 3: convergent dataflow. On 1-wide clusters the convergence
+ *    fundamentally costs either forwarding or contention; wider
+ *    clusters absorb it — shown with the idealized scheduler, where
+ *    policy artifacts cannot interfere.
+ *  - Fig. 12/13: the early-exit loop whose most critical consumer is
+ *    last in fetch order; proactive load-balancing recovers it.
+ *  - Available-ILP == machine-width stress (Sec. 7 / Fig. 15).
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "workloads/micro.hh"
+
+using namespace csim;
+
+namespace {
+
+Trace
+annotate(Trace t)
+{
+    t.linkProducers();
+    annotateBranches(t);
+    annotateMemory(t);
+    return t;
+}
+
+PolicyRun
+runKind(const Trace &t, const MachineConfig &mc, PolicyKind kind)
+{
+    ExperimentConfig cfg;
+    return runPolicy(t, mc, kind, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    WorkloadConfig wcfg;
+    wcfg.targetInstructions = 30000;
+    wcfg.seed = 1;
+
+    // ---------------------------------------------------------- //
+    std::printf("=== Fig. 9: a single dependence chain on 8x1w "
+                "===\n\n");
+    {
+        Trace t = annotate(buildMicroSerialChain(wcfg));
+        const MachineConfig mc = MachineConfig::clustered(8);
+        PolicyRun dep = runKind(t, mc, PolicyKind::Dep);
+        PolicyRun stall =
+            runKind(t, mc, PolicyKind::FocusedLocStall);
+        std::printf("dependence steering:  CPI %.3f, critical fwd "
+                    "cycles %llu\n",
+                    dep.sim.cpi(),
+                    static_cast<unsigned long long>(
+                        dep.breakdown[CpCategory::FwdDelay]));
+        std::printf("+ stall-over-steer:   CPI %.3f, critical fwd "
+                    "cycles %llu\n\n",
+                    stall.sim.cpi(),
+                    static_cast<unsigned long long>(
+                        stall.breakdown[CpCategory::FwdDelay]));
+        std::printf("Paper: load-balancing injects one forwarding "
+                    "delay per window fill; stalling removes them "
+                    "all (CPI -> the chain's 1.0 bound).\n\n");
+    }
+
+    // ---------------------------------------------------------- //
+    std::printf("=== Fig. 3: convergent dataflow across cluster "
+                "widths (idealized scheduler) ===\n\n");
+    {
+        Trace t = annotate(buildMicroConvergent(wcfg));
+        UnifiedSteering steer(UnifiedSteeringOptions{}, nullptr,
+                              nullptr);
+        AgeScheduling age;
+        SimResult ref = TimingSim(MachineConfig::monolithic(), t,
+                                  steer, age).run();
+        ListSchedResult mono = listSchedule(
+            t, ref.timing, MachineConfig::monolithic());
+        std::printf("%10s  %10s\n", "config", "norm. CPI");
+        for (unsigned n : {2u, 4u, 8u}) {
+            ListSchedResult clus = listSchedule(
+                t, ref.timing, MachineConfig::clustered(n));
+            std::printf("%10s  %10.3f\n",
+                        MachineConfig::clustered(n).name().c_str(),
+                        clus.cpi() / mono.cpi());
+        }
+        std::printf("\nPaper: with 1-wide clusters the convergence "
+                    "imposes a small fundamental penalty (forwarding "
+                    "or contention); 2- and 4-wide clusters absorb "
+                    "it.\n\n");
+    }
+
+    // ---------------------------------------------------------- //
+    std::printf("=== Fig. 12/13: early-exit loop on 8x1w ===\n\n");
+    {
+        Trace t = annotate(buildMicroEarlyExit(wcfg));
+        PolicyRun mono = runKind(t, MachineConfig::monolithic(),
+                                 PolicyKind::FocusedLoc);
+        const MachineConfig mc = MachineConfig::clustered(8);
+        PolicyRun dep = runKind(t, mc, PolicyKind::Dep);
+        PolicyRun full = runKind(
+            t, mc, PolicyKind::FocusedLocStallProactive);
+        std::printf("monolithic:           CPI %.3f\n",
+                    mono.sim.cpi());
+        std::printf("dependence steering:  CPI %.3f (%.1f%% "
+                    "penalty)\n",
+                    dep.sim.cpi(),
+                    100.0 * (dep.sim.cpi() / mono.sim.cpi() - 1.0));
+        std::printf("full policy stack:    CPI %.3f (%.1f%% "
+                    "penalty)\n\n",
+                    full.sim.cpi(),
+                    100.0 * (full.sim.cpi() / mono.sim.cpi() - 1.0));
+        std::printf("Paper: collocating only the first consumer "
+                    "spreads the recurrence (Fig. 13a); keeping the "
+                    "most critical consumer preserves the spine "
+                    "(Fig. 13b).\n\n");
+    }
+
+    // ---------------------------------------------------------- //
+    std::printf("=== Available ILP == machine width on 8x1w "
+                "===\n\n");
+    {
+        std::printf("%8s  %10s  %12s\n", "chains", "mono CPI",
+                    "8x1w CPI");
+        for (unsigned chains : {2u, 4u, 8u, 16u}) {
+            Trace t = annotate(buildMicroWideIlp(wcfg, chains));
+            PolicyRun mono = runKind(t, MachineConfig::monolithic(),
+                                     PolicyKind::FocusedLoc);
+            PolicyRun clus = runKind(
+                t, MachineConfig::clustered(8),
+                PolicyKind::FocusedLocStallProactive);
+            std::printf("%8u  %10.3f  %12.3f\n", chains,
+                        mono.sim.cpi(), clus.sim.cpi());
+        }
+        std::printf("\nPaper (Fig. 15 / Sec. 7): the clustered "
+                    "machine suffers when the ready-instruction "
+                    "distribution matters — here at intermediate "
+                    "chain counts, where steering must place one "
+                    "chain per cluster without global knowledge. "
+                    "With chains == clusters the assignment is "
+                    "trivial and with abundant chains every cluster "
+                    "stays busy; in between the gap opens, the "
+                    "distribution problem of Sec. 7.\n");
+    }
+    return 0;
+}

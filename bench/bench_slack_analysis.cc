@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Section 4's slack-vs-LoC argument, quantified.
+ *
+ * Slack is a per-instance quantity: a branch has no slack when
+ * mispredicted and window-bounded slack when predicted correctly, so
+ * a static instruction's slack forms a wide histogram that cannot
+ * drive a scheduler with one number. LoC, in contrast, is a single
+ * static likelihood. This bench reports, per benchmark, the fraction
+ * of dynamic instructions whose static slack distribution is
+ * high-variance, and shows the bimodal slack of mispredicting
+ * branches explicitly.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "critpath/slack.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace csim;
+
+int
+main()
+{
+    ExperimentConfig cfg;
+    cfg.seeds = {1};
+
+    std::printf("=== Sec. 4: slack is impractical as a static metric "
+                "===\n\n");
+    TextTable t({"benchmark", "high-variance frac",
+                 "branch slack (mispred)", "branch slack (correct)"});
+
+    for (const std::string &wl : workloadNames()) {
+        WorkloadConfig wcfg;
+        wcfg.targetInstructions = cfg.instructions;
+        wcfg.seed = 1;
+        Trace trace = buildAnnotatedTrace(wl, wcfg);
+        PolicyRun run = runPolicy(trace, MachineConfig::monolithic(),
+                                  PolicyKind::Focused, cfg);
+        SlackAnalysis sa = analyzeSlack(trace, run.sim,
+                                        MachineConfig::monolithic());
+
+        // Split conditional-branch slack by prediction outcome.
+        RunningStat mispred, correct;
+        for (std::uint64_t i = 0; i < trace.size(); ++i) {
+            if (!trace[i].isCondBranch)
+                continue;
+            const double s =
+                static_cast<double>(sa.localSlack[i]);
+            if (trace[i].mispredicted)
+                mispred.add(s);
+            else
+                correct.add(s);
+        }
+
+        t.addRow({wl, formatPercent(sa.highVarianceFraction, 1),
+                  formatDouble(mispred.mean(), 1),
+                  formatDouble(correct.mean(), 1)});
+        std::fprintf(stderr, "  %s done\n", wl.c_str());
+    }
+
+    std::printf("%s\n", t.str().c_str());
+    std::printf("Expected: a large high-variance population, and "
+                "branch slack that collapses when mispredicted but is "
+                "window-bounded when predicted correctly — the bimodal "
+                "behaviour Sec. 4 describes. (Branches resolve at "
+                "execute; 'slack' here is the local first-use gap, "
+                "capped at 256.)\n");
+    return 0;
+}

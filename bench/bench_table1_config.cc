@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 1: baseline (monolithic) machine parameters, plus the derived
+ * per-cluster resources of the 2x4w, 4x2w and 8x1w partitionings
+ * (footnote 1: partial per-cluster ports round up).
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "core/machine_config.hh"
+
+using namespace csim;
+
+int
+main()
+{
+    std::printf("=== Table 1: machine parameters ===\n\n");
+    const MachineConfig m = MachineConfig::monolithic();
+    std::printf("Front-end   %u-wide, %u stages to dispatch, perfect "
+                "I-cache,\n            gshare with 16 bits of global "
+                "history\n",
+                m.fetchWidth, m.frontendDepth);
+    std::printf("Issue       %u-entry scheduling window, %u-entry "
+                "ROB\n",
+                m.windowPerCluster * m.numClusters, m.robEntries);
+    std::printf("Execute     up to %u/clock: <=%u int, <=%u fp, <=%u "
+                "mem;\n            Alpha 21264 latencies (3-cycle "
+                "load-to-use)\n",
+                m.cluster.issueWidth, m.cluster.intPorts,
+                m.cluster.fpPorts, m.cluster.memPorts);
+    std::printf("Memory      32KB 4-way L1, 2-cycle; infinite L2, "
+                "20-cycle\n");
+    std::printf("Bypass      inter-cluster forwarding latency: %u "
+                "cycles\n\n", m.fwdLatency);
+
+    TextTable t({"config", "clusters", "issue/clk", "int", "fp", "mem",
+                 "window/cluster"});
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        MachineConfig c = n == 1 ? MachineConfig::monolithic()
+                                 : MachineConfig::clustered(n);
+        t.addRow({c.name(), std::to_string(c.numClusters),
+                  std::to_string(c.cluster.issueWidth),
+                  std::to_string(c.cluster.intPorts),
+                  std::to_string(c.cluster.fpPorts),
+                  std::to_string(c.cluster.memPorts),
+                  std::to_string(c.windowPerCluster)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (a simulator bug);
+ *             aborts so a debugger or core dump can inspect the state.
+ * fatal()  -- the user asked for something unsatisfiable (bad config);
+ *             exits with an error code.
+ */
+
+#ifndef CSIM_COMMON_LOGGING_HH
+#define CSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csim {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace csim
+
+#define CSIM_PANIC(msg) ::csim::panicImpl(__FILE__, __LINE__, (msg))
+#define CSIM_FATAL(msg) ::csim::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Invariant check that stays on in release builds. */
+#define CSIM_ASSERT(cond)                                                  \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            CSIM_PANIC("assertion failed: " #cond);                        \
+    } while (0)
+
+#endif // CSIM_COMMON_LOGGING_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Probabilistic counter updates (Riley & Zilles, CAL 2005).
+ *
+ * The paper's LoC predictor stratifies likelihood-of-criticality into 16
+ * levels stored in just 4 bits by making counter movement probabilistic:
+ * on a training event the counter moves one level toward the observed
+ * outcome with a probability chosen so the counter's resting level tracks
+ * the observed frequency of the outcome.
+ *
+ * With moveUp probability p_up = (levels-1-v)/ (levels-1) scaled by the
+ * training direction, the stationary distribution centres the level v on
+ * roughly f*(levels-1) where f is the observed frequency of "true"
+ * outcomes; level/(levels-1) is then an estimate of f. We implement the
+ * simple symmetric random-walk variant: on outcome=true move up one level
+ * with probability q, on outcome=false move down one level with
+ * probability q' where q and q' are chosen to equalise expected drift,
+ * i.e. q = 1 - v/(levels-1) view. Concretely we use the classic
+ * "probabilistic saturating counter" recipe: move toward the outcome with
+ * probability 1/updatePeriod, which emulates a higher-precision counter
+ * that only stores its top bits.
+ */
+
+#ifndef CSIM_COMMON_PROB_COUNTER_HH
+#define CSIM_COMMON_PROB_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace csim {
+
+/**
+ * A counter with `levels` discrete states kept in ceil(log2(levels)) bits
+ * whose state, divided by (levels - 1), converges on the frequency of
+ * positive training outcomes.
+ *
+ * Emulates an n-bit frequency estimator using only the stratum index: a
+ * positive outcome moves the stratum up with probability proportional to
+ * the distance to the top; a negative outcome moves it down with
+ * probability proportional to the distance to the bottom. The fixed point
+ * of the expected drift is exactly level = f * (levels - 1).
+ */
+class ProbCounter
+{
+  public:
+    ProbCounter() = default;
+
+    explicit ProbCounter(unsigned levels, unsigned initial = 0)
+        : levels_(levels), level_(initial)
+    {
+        CSIM_ASSERT(levels >= 2);
+        CSIM_ASSERT(initial < levels);
+    }
+
+    /**
+     * Train with one observed outcome.
+     *
+     * Drift analysis: E[delta] = outcome_rate * pUp - (1-rate) * pDown
+     * with pUp = (top - level)/top and pDown = level/top (top=levels-1).
+     * Setting E[delta] = 0 gives level = rate * top.
+     */
+    void
+    train(bool outcome, Rng &rng)
+    {
+        const unsigned top = levels_ - 1;
+        if (outcome) {
+            if (level_ < top && rng.below(top) >= level_)
+                ++level_;
+        } else {
+            if (level_ > 0 && rng.below(top) < level_)
+                --level_;
+        }
+    }
+
+    unsigned level() const { return level_; }
+    unsigned levels() const { return levels_; }
+
+    /** Estimated frequency of positive outcomes, in [0, 1]. */
+    double
+    estimate() const
+    {
+        return static_cast<double>(level_) /
+            static_cast<double>(levels_ - 1);
+    }
+
+    void reset(unsigned v = 0) { CSIM_ASSERT(v < levels_); level_ = v; }
+
+  private:
+    unsigned levels_ = 16;
+    unsigned level_ = 0;
+};
+
+} // namespace csim
+
+#endif // CSIM_COMMON_PROB_COUNTER_HH

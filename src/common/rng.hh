@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic xorshift64* pseudo-random number generator.
+ *
+ * Used everywhere randomness is needed (workload data, probabilistic
+ * counter updates) so that runs are reproducible from a seed, independent
+ * of the platform's std::rand or libstdc++ distribution details.
+ */
+
+#ifndef CSIM_COMMON_RNG_HH
+#define CSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace csim {
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** True with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace csim
+
+#endif // CSIM_COMMON_RNG_HH

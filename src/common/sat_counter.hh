@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Saturating counter with asymmetric increment/decrement steps.
+ *
+ * The Fields criticality predictor uses a 6-bit counter that increments
+ * by 8 when an instruction trains critical and decrements by 1 otherwise;
+ * an instruction is predicted critical when the counter value is at least
+ * the threshold (8). SatCounter supports that shape as well as the
+ * classic 2-bit branch-predictor counter.
+ */
+
+#ifndef CSIM_COMMON_SAT_COUNTER_HH
+#define CSIM_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits Counter width in bits (1..31).
+     * @param up Increment step applied by train(true).
+     * @param down Decrement step applied by train(false).
+     * @param initial Initial counter value.
+     */
+    SatCounter(unsigned bits, unsigned up = 1, unsigned down = 1,
+               unsigned initial = 0)
+        : max_((1u << bits) - 1), up_(up), down_(down), value_(initial)
+    {
+        CSIM_ASSERT(bits >= 1 && bits <= 31);
+        CSIM_ASSERT(initial <= max_);
+    }
+
+    /** Move the counter toward saturation in the given direction. */
+    void
+    train(bool up)
+    {
+        if (up)
+            value_ = (value_ + up_ > max_) ? max_ : value_ + up_;
+        else
+            value_ = (value_ < down_) ? 0 : value_ - down_;
+    }
+
+    unsigned value() const { return value_; }
+    unsigned maxValue() const { return max_; }
+    bool saturatedHigh() const { return value_ == max_; }
+    bool saturatedLow() const { return value_ == 0; }
+
+    /** Predict taken/critical when at or above the given threshold. */
+    bool atLeast(unsigned threshold) const { return value_ >= threshold; }
+
+    void reset(unsigned v = 0) { CSIM_ASSERT(v <= max_); value_ = v; }
+
+  private:
+    unsigned max_ = 3;
+    unsigned up_ = 1;
+    unsigned down_ = 1;
+    unsigned value_ = 0;
+};
+
+} // namespace csim
+
+#endif // CSIM_COMMON_SAT_COUNTER_HH

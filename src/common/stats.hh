@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Small statistics toolkit: running means, histograms and formatting
+ * helpers used by the experiment harness and the bench binaries.
+ */
+
+#ifndef CSIM_COMMON_STATS_HH
+#define CSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+/** Running mean/min/max over a stream of samples. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        if (count_ == 0 || x < min_)
+            min_ = x;
+        if (count_ == 0 || x > max_)
+            max_ = x;
+        sum_ += x;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(10, 0.0, 1.0) {}
+
+    Histogram(unsigned buckets, double lo, double hi)
+        : lo_(lo), hi_(hi), counts_(buckets, 0)
+    {
+        CSIM_ASSERT(buckets >= 1);
+        CSIM_ASSERT(hi > lo);
+    }
+
+    void
+    add(double x, std::uint64_t weight = 1)
+    {
+        double t = (x - lo_) / (hi_ - lo_);
+        auto idx = static_cast<long>(t * static_cast<double>(size()));
+        if (idx < 0)
+            idx = 0;
+        if (idx >= static_cast<long>(size()))
+            idx = static_cast<long>(size()) - 1;
+        counts_[static_cast<std::size_t>(idx)] += weight;
+        total_ += weight;
+    }
+
+    std::size_t size() const { return counts_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of all samples falling in bucket i. */
+    double
+    fraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(counts_.at(i)) /
+            static_cast<double>(total_) : 0.0;
+    }
+
+    /** Lower edge of bucket i. */
+    double
+    bucketLo(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+            static_cast<double>(size());
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Plain-text table with fixed-width columns, used by the bench binaries
+ * to print paper-style rows.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string formatDouble(double v, int decimals = 3);
+
+/** Format v as a percentage ("12.3%"). */
+std::string formatPercent(double v, int decimals = 1);
+
+} // namespace csim
+
+#endif // CSIM_COMMON_STATS_HH

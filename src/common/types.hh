@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef CSIM_COMMON_TYPES_HH
+#define CSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace csim {
+
+/** Simulated clock cycle. */
+using Cycle = std::uint64_t;
+
+/** Index of a dynamic instruction within a trace. */
+using InstId = std::uint64_t;
+
+/** Static instruction address. */
+using Addr = std::uint64_t;
+
+/** Architectural register index (int regs 0..31, fp regs 32..63). */
+using RegIndex = std::uint8_t;
+
+/** Cluster identifier. */
+using ClusterId = std::uint8_t;
+
+/** Sentinel for "no dynamic instruction". */
+inline constexpr InstId invalidInstId =
+    std::numeric_limits<InstId>::max();
+
+/** Sentinel for "no cluster assigned". */
+inline constexpr ClusterId invalidCluster =
+    std::numeric_limits<ClusterId>::max();
+
+/** Sentinel cycle meaning "not yet happened". */
+inline constexpr Cycle invalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Number of architectural integer registers (r31 reads as zero). */
+inline constexpr int numIntRegs = 32;
+
+/** Number of architectural floating point registers. */
+inline constexpr int numFpRegs = 32;
+
+/** Total architectural registers (int followed by fp). */
+inline constexpr int numArchRegs = numIntRegs + numFpRegs;
+
+/** The architectural zero register: writes discarded, reads yield 0. */
+inline constexpr RegIndex zeroReg = 31;
+
+} // namespace csim
+
+#endif // CSIM_COMMON_TYPES_HH

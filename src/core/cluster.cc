@@ -1,0 +1,3 @@
+// Cluster is header-only; this translation unit exists so the build
+// exercises the header standalone (include hygiene).
+#include "core/cluster.hh"

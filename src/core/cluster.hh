@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-cluster execution state: the scheduling window occupancy, the
+ * not-yet-ready/ready instruction queues, and per-cycle port accounting.
+ */
+
+#ifndef CSIM_CORE_CLUSTER_HH
+#define CSIM_CORE_CLUSTER_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/machine_config.hh"
+#include "isa/opcode.hh"
+
+namespace csim {
+
+/**
+ * One cluster: a scheduling window plus issue ports. Instructions enter
+ * at steer time (occupying a window entry), move from `pending` to
+ * `readyNow` when their operands arrive, and leave the window at issue.
+ */
+class Cluster
+{
+  public:
+    Cluster(const ClusterPorts &ports, unsigned window_entries)
+        : ports_(ports), windowEntries_(window_entries)
+    {}
+
+    unsigned windowFree() const { return windowEntries_ - occupancy_; }
+    unsigned occupancy() const { return occupancy_; }
+
+    /** Steer an instruction into the window. */
+    void
+    enter()
+    {
+        CSIM_ASSERT(occupancy_ < windowEntries_);
+        ++occupancy_;
+    }
+
+    /** Queue an instruction that becomes ready at the given cycle. */
+    void
+    markReady(InstId id, Cycle when)
+    {
+        pending_.emplace(when, id);
+    }
+
+    /** Move everything ready by `now` into the issuable set. */
+    void
+    promoteReady(Cycle now)
+    {
+        while (!pending_.empty() && pending_.top().first <= now) {
+            readyNow_.push_back(pending_.top().second);
+            pending_.pop();
+        }
+    }
+
+    /** Instructions whose operands are available (contending to issue). */
+    std::vector<InstId> &readyNow() { return readyNow_; }
+
+    /** An instruction issued: its window entry frees. */
+    void
+    exitWindow()
+    {
+        CSIM_ASSERT(occupancy_ > 0);
+        --occupancy_;
+    }
+
+    const ClusterPorts &ports() const { return ports_; }
+
+    /** Per-cycle port tracker. */
+    struct PortUse
+    {
+        unsigned total = 0;
+        unsigned intUsed = 0;
+        unsigned fpUsed = 0;
+        unsigned memUsed = 0;
+
+        /** Try to claim a port for an op of class c. */
+        bool
+        claim(OpClass c, const ClusterPorts &ports)
+        {
+            if (total >= ports.issueWidth)
+                return false;
+            if (isIntClass(c)) {
+                if (intUsed >= ports.intPorts)
+                    return false;
+                ++intUsed;
+            } else if (isFpClass(c)) {
+                if (fpUsed >= ports.fpPorts)
+                    return false;
+                ++fpUsed;
+            } else {
+                if (memUsed >= ports.memPorts)
+                    return false;
+                ++memUsed;
+            }
+            ++total;
+            return true;
+        }
+    };
+
+  private:
+    using PendingEntry = std::pair<Cycle, InstId>;
+
+    ClusterPorts ports_;
+    unsigned windowEntries_;
+    unsigned occupancy_ = 0;
+    std::priority_queue<PendingEntry, std::vector<PendingEntry>,
+                        std::greater<>> pending_;
+    std::vector<InstId> readyNow_;
+};
+
+} // namespace csim
+
+#endif // CSIM_CORE_CLUSTER_HH

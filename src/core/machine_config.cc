@@ -1,0 +1,48 @@
+#include "core/machine_config.hh"
+
+#include "common/logging.hh"
+
+namespace csim {
+
+MachineConfig
+MachineConfig::monolithic()
+{
+    return MachineConfig{};
+}
+
+MachineConfig
+MachineConfig::clustered(unsigned n)
+{
+    CSIM_ASSERT(n >= 1 && n <= 8 && 8 % n == 0);
+    MachineConfig cfg;
+    cfg.numClusters = n;
+    cfg.cluster.issueWidth = 8 / n;
+    cfg.cluster.intPorts = 8 / n;
+    cfg.cluster.fpPorts = (4 + n - 1) / n;   // round up partial ports
+    cfg.cluster.memPorts = (4 + n - 1) / n;
+    cfg.windowPerCluster = 128 / n;
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::generic(unsigned n, unsigned width)
+{
+    CSIM_ASSERT(n >= 1 && width >= 1);
+    MachineConfig cfg;
+    cfg.numClusters = n;
+    cfg.cluster.issueWidth = width;
+    cfg.cluster.intPorts = width;
+    cfg.cluster.fpPorts = (width + 1) / 2;
+    cfg.cluster.memPorts = (width + 1) / 2;
+    cfg.windowPerCluster = (128 + n - 1) / n;
+    return cfg;
+}
+
+std::string
+MachineConfig::name() const
+{
+    return std::to_string(numClusters) + "x" +
+        std::to_string(cluster.issueWidth) + "w";
+}
+
+} // namespace csim

@@ -1,0 +1,374 @@
+#include "core/timing_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
+                     SteeringPolicy &steering,
+                     SchedulingPolicy &scheduling,
+                     CommitListener *listener, SimOptions options)
+    : config_(config), trace_(trace), steering_(steering),
+      scheduling_(scheduling), listener_(listener), options_(options)
+{
+    CSIM_ASSERT(config.numClusters >= 1);
+    for (unsigned c = 0; c < config.numClusters; ++c)
+        clusters_.emplace_back(config.cluster, config.windowPerCluster);
+
+    const std::size_t n = trace.size();
+    timing_.resize(n);
+    prioKey_.resize(n, 0);
+    pendingOps_.resize(n, 0);
+    partialReady_.resize(n, 0);
+    waiters_.resize(n);
+    deliveredMask_.resize(n, 0);
+    buckets_.resize(bucketCount);
+
+    if (options_.collectIlp) {
+        ilpCycles_.resize(options_.ilpMaxAvailable + 1, 0);
+        ilpIssuedSum_.resize(options_.ilpMaxAvailable + 1, 0);
+    }
+}
+
+unsigned
+TimingSim::windowFree(ClusterId c) const
+{
+    return clusters_[c].windowFree();
+}
+
+unsigned
+TimingSim::windowOccupancy(ClusterId c) const
+{
+    return clusters_[c].occupancy();
+}
+
+bool
+TimingSim::inFlight(InstId id) const
+{
+    const InstTiming &t = timing_[id];
+    return t.dispatch != invalidCycle &&
+        (t.complete == invalidCycle || t.complete > now_);
+}
+
+bool
+TimingSim::completed(InstId id) const
+{
+    const InstTiming &t = timing_[id];
+    return t.complete != invalidCycle && t.complete <= now_;
+}
+
+ClusterId
+TimingSim::clusterOf(InstId id) const
+{
+    return timing_[id].cluster;
+}
+
+Cycle
+TimingSim::availTime(InstId producer, ClusterId consumer_cluster,
+                     int slot) const
+{
+    const InstTiming &pt = timing_[producer];
+    CSIM_ASSERT(pt.complete != invalidCycle);
+    // Memory dependences resolve through the shared L1, so they never
+    // pay the global bypass latency; register values do when the
+    // producer lives on another cluster.
+    const bool cross =
+        slot != srcSlotMem && pt.cluster != consumer_cluster;
+    return pt.complete + (cross ? config_.fwdLatency : 0);
+}
+
+void
+TimingSim::noteGlobalDelivery(InstId producer, ClusterId consumer_cluster)
+{
+    const std::uint16_t bit =
+        static_cast<std::uint16_t>(1u << consumer_cluster);
+    if (!(deliveredMask_[producer] & bit)) {
+        deliveredMask_[producer] |= bit;
+        ++globalValues_;
+    }
+}
+
+SimResult
+TimingSim::run()
+{
+    const std::uint64_t n = trace_.size();
+    SimResult result;
+    if (n == 0)
+        return result;
+
+    steering_.reset(*this, n);
+
+    const std::uint64_t cycle_limit =
+        static_cast<std::uint64_t>(options_.maxCpi) * n + 100000;
+
+    now_ = 0;
+    while (commitIdx_ < n) {
+        doIssue();
+        doCommit();
+        doSteer();
+        doFetch();
+        ++now_;
+        if (now_ > cycle_limit) {
+            const InstTiming &h = timing_[commitIdx_];
+            std::fprintf(stderr,
+                         "TimingSim stuck: commit=%llu steer=%llu "
+                         "fetch=%llu n=%llu\n"
+                         "head: fetch=%llu dispatch=%llu ready=%llu "
+                         "issue=%llu complete=%llu cluster=%u "
+                         "pendingOps=%u\n",
+                         (unsigned long long)commitIdx_,
+                         (unsigned long long)steerIdx_,
+                         (unsigned long long)fetchIdx_,
+                         (unsigned long long)n,
+                         (unsigned long long)h.fetch,
+                         (unsigned long long)h.dispatch,
+                         (unsigned long long)h.ready,
+                         (unsigned long long)h.issue,
+                         (unsigned long long)h.complete,
+                         (unsigned)h.cluster,
+                         (unsigned)pendingOps_[commitIdx_]);
+            for (std::size_t c = 0; c < clusters_.size(); ++c) {
+                std::fprintf(stderr, "cluster %zu: occ=%u readyNow=%zu\n",
+                             c, clusters_[c].occupancy(),
+                             clusters_[c].readyNow().size());
+            }
+            CSIM_PANIC("TimingSim: cycle limit exceeded (deadlock?)");
+        }
+    }
+
+    if (listener_)
+        listener_->onRunEnd(*this);
+
+    // The last instruction committed on cycle now_-1... runtime is the
+    // commit cycle of the final instruction plus one (cycles are
+    // zero-based).
+    result.cycles = timing_[n - 1].commit + 1;
+    result.instructions = n;
+    result.timing = std::move(timing_);
+    result.globalValues = globalValues_;
+    result.steerStallCycles = steerStallCycles_;
+    result.ilpCycles = std::move(ilpCycles_);
+    result.ilpIssuedSum = std::move(ilpIssuedSum_);
+    return result;
+}
+
+void
+TimingSim::doIssue()
+{
+    std::uint64_t available_total = 0;
+    std::uint64_t issued_total = 0;
+
+    for (std::size_t ci = 0; ci < clusters_.size(); ++ci) {
+        Cluster &cluster = clusters_[ci];
+        cluster.promoteReady(now_);
+        auto &ready = cluster.readyNow();
+        available_total += ready.size();
+        if (ready.empty())
+            continue;
+
+        std::sort(ready.begin(), ready.end(),
+                  [this](InstId a, InstId b) {
+                      return prioKey_[a] < prioKey_[b];
+                  });
+
+        Cluster::PortUse ports;
+        std::vector<InstId> leftover;
+        leftover.reserve(ready.size());
+
+        for (InstId id : ready) {
+            const TraceRecord &rec = trace_[id];
+            if (ports.total >= cluster.ports().issueWidth ||
+                !ports.claim(rec.cls, cluster.ports())) {
+                leftover.push_back(id);
+                continue;
+            }
+
+            // Issue.
+            InstTiming &t = timing_[id];
+            t.issue = now_;
+            t.complete = now_ + rec.execLat;
+            cluster.exitWindow();
+            ++issued_total;
+
+            if (fetchStalled_ && id == fetchStallBranch_)
+                fetchResume_ = t.complete + 1;
+
+            // Wake consumers waiting on this value.
+            for (const Waiter &w : waiters_[id]) {
+                const ClusterId wc = timing_[w.id].cluster;
+                const bool cross =
+                    w.slot != srcSlotMem && t.cluster != wc;
+                const Cycle avail =
+                    t.complete + (cross ? config_.fwdLatency : 0);
+                if (cross) {
+                    noteGlobalDelivery(id, wc);
+                    timing_[w.id].crossMask |=
+                        static_cast<std::uint8_t>(1u << w.slot);
+                }
+                if (avail > partialReady_[w.id])
+                    partialReady_[w.id] = avail;
+                CSIM_ASSERT(pendingOps_[w.id] > 0);
+                if (--pendingOps_[w.id] == 0) {
+                    timing_[w.id].ready = partialReady_[w.id];
+                    clusters_[wc].markReady(w.id, partialReady_[w.id]);
+                }
+            }
+            waiters_[id].clear();
+        }
+
+        ready.swap(leftover);
+    }
+
+    if (options_.collectIlp) {
+        std::uint64_t bucket =
+            std::min<std::uint64_t>(available_total,
+                                    options_.ilpMaxAvailable);
+        ++ilpCycles_[bucket];
+        ilpIssuedSum_[bucket] += issued_total;
+    }
+}
+
+void
+TimingSim::doCommit()
+{
+    const std::uint64_t n = trace_.size();
+    unsigned committed = 0;
+    while (committed < config_.commitWidth && commitIdx_ < n) {
+        InstTiming &t = timing_[commitIdx_];
+        if (t.complete == invalidCycle || t.complete >= now_)
+            break;
+        t.commit = now_;
+        if (listener_)
+            listener_->onCommit(*this, commitIdx_);
+        steering_.notifyCommit(*this, commitIdx_, trace_[commitIdx_]);
+        ++commitIdx_;
+        ++committed;
+    }
+}
+
+void
+TimingSim::doSteer()
+{
+    const std::uint64_t n = trace_.size();
+    unsigned steered = 0;
+    while (steered < config_.dispatchWidth && steerIdx_ < n) {
+        const InstId id = steerIdx_;
+        InstTiming &t = timing_[id];
+        if (t.fetch == invalidCycle)
+            break;  // not yet fetched
+        if (t.fetch + config_.frontendDepth > now_)
+            break;  // still in the front-end pipeline
+        if (steerIdx_ - commitIdx_ >= config_.robEntries)
+            break;  // ROB full
+
+        unsigned total_free = 0;
+        for (const Cluster &cluster : clusters_)
+            total_free += cluster.windowFree();
+        if (total_free == 0)
+            break;  // every window full: structural stall
+
+        const TraceRecord &rec = trace_[id];
+        SteerRequest req{id, &rec};
+        SteerDecision d = steering_.steer(*this, req);
+        if (d.stall) {
+            ++steerStallCycles_;
+            break;  // policy chose to stall; in-order steering blocks
+        }
+
+        CSIM_ASSERT(d.cluster < clusters_.size());
+        CSIM_ASSERT(clusters_[d.cluster].windowFree() > 0);
+
+        clusters_[d.cluster].enter();
+        t.dispatch = now_;
+        t.cluster = d.cluster;
+        t.desired = d.desired;
+        t.reason = d.reason;
+        t.dyadicSplit = d.dyadicSplit;
+        t.predictedCritical = d.predictedCritical;
+        t.locLevel = d.locLevel;
+
+        const std::uint32_t prio = scheduling_.priorityClass(rec);
+        prioKey_[id] =
+            (static_cast<std::uint64_t>(prio) << 40) | id;
+
+        // Resolve operand readiness.
+        Cycle ready = now_ + 1;  // earliest possible issue
+        unsigned pending = 0;
+        for (int slot = 0; slot < numSrcSlots; ++slot) {
+            const InstId p = rec.prod[slot];
+            if (p == invalidInstId)
+                continue;
+            if (timing_[p].complete != invalidCycle) {
+                // Producer already issued; arrival time is known.
+                const Cycle avail =
+                    availTime(p, d.cluster, slot);
+                const bool cross = slot != srcSlotMem &&
+                    timing_[p].cluster != d.cluster;
+                if (cross) {
+                    noteGlobalDelivery(p, d.cluster);
+                    t.crossMask |=
+                        static_cast<std::uint8_t>(1u << slot);
+                }
+                if (avail > ready)
+                    ready = avail;
+            } else {
+                waiters_[p].push_back(
+                    {id, static_cast<std::uint8_t>(slot)});
+                ++pending;
+            }
+        }
+
+        partialReady_[id] = ready;
+        pendingOps_[id] = static_cast<std::uint8_t>(pending);
+        if (pending == 0) {
+            t.ready = ready;
+            clusters_[d.cluster].markReady(id, ready);
+        }
+
+        steering_.notifySteered(*this, req, d);
+        ++steerIdx_;
+        ++steered;
+    }
+}
+
+void
+TimingSim::doFetch()
+{
+    const std::uint64_t n = trace_.size();
+    if (fetchStalled_) {
+        if (fetchResume_ != invalidCycle && now_ >= fetchResume_) {
+            fetchStalled_ = false;
+            fetchStallBranch_ = invalidInstId;
+        } else {
+            return;
+        }
+    }
+
+    // The front end holds at most depth x width instructions plus the
+    // current fetch group.
+    const std::uint64_t fetch_bound = steerIdx_ +
+        static_cast<std::uint64_t>(config_.frontendDepth) *
+        config_.fetchWidth + config_.fetchWidth;
+
+    unsigned fetched = 0;
+    while (fetched < config_.fetchWidth && fetchIdx_ < n &&
+           fetchIdx_ < fetch_bound) {
+        const TraceRecord &rec = trace_[fetchIdx_];
+        timing_[fetchIdx_].fetch = now_;
+        ++fetchIdx_;
+        ++fetched;
+
+        if (rec.isCondBranch && rec.mispredicted) {
+            fetchStalled_ = true;
+            fetchStallBranch_ = fetchIdx_ - 1;
+            fetchResume_ = invalidCycle;
+            break;
+        }
+        if (config_.fetchStopAtTaken && rec.isBranch && rec.taken)
+            break;
+    }
+}
+
+} // namespace csim

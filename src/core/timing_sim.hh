@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The clustered out-of-order timing simulator.
+ *
+ * Trace-driven and cycle-stepped. Models the paper's machine (Table 1):
+ * an 8-wide front end (13 stages to dispatch, gshare-annotated branch
+ * outcomes), in-order steering into per-cluster scheduling windows, a
+ * shared 256-entry ROB, per-cluster out-of-order issue constrained by
+ * int/fp/mem ports, a global bypass with a configurable inter-cluster
+ * forwarding latency, and in-order commit.
+ *
+ * Steering and scheduling are delegated to SteeringPolicy and
+ * SchedulingPolicy; the commit stream is exposed to a CommitListener so
+ * the criticality predictors can be trained online, exactly mirroring
+ * the decoupled structure the paper studies.
+ */
+
+#ifndef CSIM_CORE_TIMING_SIM_HH
+#define CSIM_CORE_TIMING_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "core/machine_config.hh"
+#include "core/policy.hh"
+#include "core/timing.hh"
+#include "trace/trace.hh"
+
+namespace csim {
+
+struct SimOptions
+{
+    /** Collect the per-cycle available/achieved ILP data (Fig. 15). */
+    bool collectIlp = false;
+    /** Largest available-ILP bucket tracked. */
+    unsigned ilpMaxAvailable = 64;
+    /**
+     * Hard safety bound: panic if the run exceeds this many cycles per
+     * instruction (catches policy-induced deadlock in tests).
+     */
+    unsigned maxCpi = 1000;
+};
+
+class TimingSim : public CoreView
+{
+  public:
+    /**
+     * @param config Machine geometry.
+     * @param trace Annotated, producer-linked dynamic trace.
+     * @param steering Cluster-assignment policy.
+     * @param scheduling Issue-priority policy.
+     * @param listener Optional commit observer (predictor training).
+     */
+    TimingSim(const MachineConfig &config, const Trace &trace,
+              SteeringPolicy &steering, SchedulingPolicy &scheduling,
+              CommitListener *listener = nullptr,
+              SimOptions options = SimOptions{});
+
+    /** Run the whole trace to commit and return the timing results. */
+    SimResult run();
+
+    // CoreView interface.
+    const MachineConfig &config() const override { return config_; }
+    Cycle now() const override { return now_; }
+    unsigned windowFree(ClusterId c) const override;
+    unsigned windowOccupancy(ClusterId c) const override;
+    bool inFlight(InstId id) const override;
+    bool completed(InstId id) const override;
+    ClusterId clusterOf(InstId id) const override;
+    const TraceRecord &record(InstId id) const override
+    {
+        return trace_[id];
+    }
+    const InstTiming &timingOf(InstId id) const override
+    {
+        return timing_[id];
+    }
+
+  private:
+    void doComplete();
+    void doIssue();
+    void doSteer();
+    void doCommit();
+    void doFetch();
+
+    /** Operand arrival time at the consumer's cluster. */
+    Cycle availTime(InstId producer, ClusterId consumer_cluster,
+                    int slot) const;
+
+    /** Record a cross-cluster value delivery (for the traffic stat). */
+    void noteGlobalDelivery(InstId producer, ClusterId consumer_cluster);
+
+    /** Stored by value so callers may pass temporaries. */
+    const MachineConfig config_;
+    /** The trace must outlive the simulation (it is large; callers
+     *  always keep it alive for the results anyway). */
+    const Trace &trace_;
+    SteeringPolicy &steering_;
+    SchedulingPolicy &scheduling_;
+    CommitListener *listener_;
+    SimOptions options_;
+
+    Cycle now_ = 0;
+    std::vector<Cluster> clusters_;
+
+    // In-order stage cursors: commitIdx_ <= steerIdx_ <= fetchIdx_.
+    std::uint64_t fetchIdx_ = 0;
+    std::uint64_t steerIdx_ = 0;
+    std::uint64_t commitIdx_ = 0;
+
+    bool fetchStalled_ = false;
+    InstId fetchStallBranch_ = invalidInstId;
+    Cycle fetchResume_ = 0;
+
+    // Per-instruction state (indexed by trace position).
+    std::vector<InstTiming> timing_;
+    std::vector<std::uint64_t> prioKey_;
+    std::vector<std::uint8_t> pendingOps_;
+    std::vector<Cycle> partialReady_;
+    struct Waiter
+    {
+        InstId id;
+        std::uint8_t slot;
+    };
+    std::vector<std::vector<Waiter>> waiters_;
+    std::vector<std::uint16_t> deliveredMask_;
+
+    // Completion "calendar": buckets_[(cycle) % bucketCount].
+    static constexpr std::size_t bucketCount = 64;
+    std::vector<std::vector<InstId>> buckets_;
+
+    std::uint64_t globalValues_ = 0;
+    std::uint64_t steerStallCycles_ = 0;
+    std::vector<std::uint64_t> ilpCycles_;
+    std::vector<std::uint64_t> ilpIssuedSum_;
+};
+
+} // namespace csim
+
+#endif // CSIM_CORE_TIMING_SIM_HH

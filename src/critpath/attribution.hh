@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Critical-path consumers: the full-run breakdown used by the benches
+ * (Figs. 5, 6, 14) and the online trainer that emulates Fields et al.'s
+ * sampling criticality detector by analysing the committed stream in
+ * chunks and training the binary and LoC predictors (paper Secs. 4, 7).
+ */
+
+#ifndef CSIM_CRITPATH_ATTRIBUTION_HH
+#define CSIM_CRITPATH_ATTRIBUTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hh"
+#include "core/timing.hh"
+#include "critpath/depgraph.hh"
+#include "predict/criticality_predictor.hh"
+#include "predict/loc_predictor.hh"
+#include "trace/trace.hh"
+
+namespace csim {
+
+/** Critical-path breakdown of a completed run (whole-trace walk). */
+CpBreakdown analyzeFullRun(const Trace &trace, const SimResult &result,
+                           const MachineConfig &config);
+
+/**
+ * Ground-truth per-instruction criticality: chunked critical-path
+ * analysis over a completed run. Returns one flag per dynamic
+ * instruction (E node on its chunk's critical path).
+ */
+std::vector<bool> criticalityGroundTruth(const Trace &trace,
+                                         const SimResult &result,
+                                         const MachineConfig &config,
+                                         std::uint64_t chunk_size = 8192);
+
+/**
+ * Commit-stream observer that trains the criticality predictors online.
+ *
+ * Buffers committed instructions and, every chunk_size commits, runs
+ * the dependence-graph analysis on the chunk; every instruction whose E
+ * node lies on the chunk's critical path trains "critical", all others
+ * train "not critical" — the inc-8/dec-1 dynamics of the Fields
+ * predictor and the probabilistic updates of the LoC predictor do the
+ * rest. This plays the role of the paper's token-passing detector that
+ * "samples the retiring instruction stream".
+ */
+class OnlineCriticalityTrainer : public CommitListener
+{
+  public:
+    /** Either predictor may be null (it simply is not trained). */
+    OnlineCriticalityTrainer(const Trace &trace,
+                             CriticalityPredictor *crit_pred,
+                             LocPredictor *loc_pred,
+                             std::uint64_t chunk_size = 8192);
+
+    void onCommit(const CoreView &view, InstId id) override;
+    void onRunEnd(const CoreView &view) override;
+
+    std::uint64_t chunksAnalyzed() const { return chunks_; }
+    std::uint64_t trainedCritical() const { return trainedCritical_; }
+    std::uint64_t trainedTotal() const { return trainedTotal_; }
+
+    /** Prepare for a new run over the same trace (predictors persist). */
+    void restart();
+
+  private:
+    void flush(const CoreView &view);
+
+    const Trace &trace_;
+    CriticalityPredictor *critPred_;
+    LocPredictor *locPred_;
+    std::uint64_t chunkSize_;
+
+    std::uint64_t chunkBegin_ = 0;
+    std::vector<InstTiming> buffer_;
+    std::uint64_t chunks_ = 0;
+    std::uint64_t trainedCritical_ = 0;
+    std::uint64_t trainedTotal_ = 0;
+};
+
+} // namespace csim
+
+#endif // CSIM_CRITPATH_ATTRIBUTION_HH

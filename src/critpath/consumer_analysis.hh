@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Producer-consumer criticality analysis (paper Sec. 6).
+ *
+ * Quantifies the two dataflow properties the paper reports in support
+ * of proactive load-balancing:
+ *  - most critical consumers are statically unique (~80% of values),
+ *  - a static consumer either almost always or almost never is the
+ *    most critical consumer of its operand (bimodal tendency),
+ * plus the Sec. 6 motivation stat: among critical producers with
+ * multiple consumers, the most critical consumer is frequently not
+ * first in fetch order (>50%).
+ */
+
+#ifndef CSIM_CRITPATH_CONSUMER_ANALYSIS_HH
+#define CSIM_CRITPATH_CONSUMER_ANALYSIS_HH
+
+#include "common/stats.hh"
+#include "core/timing.hh"
+#include "critpath/depgraph.hh"
+#include "trace/trace.hh"
+
+namespace csim {
+
+struct ConsumerAnalysis
+{
+    /** Dynamic values considered (>= 1 register consumer). */
+    std::uint64_t valuesAnalyzed = 0;
+    /** Of those, values with >= 2 consumers. */
+    std::uint64_t multiConsumerValues = 0;
+    /**
+     * Fraction of dynamic values whose most critical consumer is the
+     * statically modal one for that producer PC.
+     */
+    double staticallyUniqueFraction = 0.0;
+    /**
+     * Histogram over [0,1] of each static consumer's tendency to be
+     * the most critical consumer of its operand (bimodal expected).
+     */
+    Histogram tendency{10, 0.0, 1.0};
+    /**
+     * Among critical producers with multiple consumers: fraction whose
+     * most critical consumer is NOT first in fetch order.
+     */
+    double mostCriticalNotFirstFraction = 0.0;
+};
+
+/**
+ * Analyse the producer/consumer criticality structure of a completed
+ * run. Consumer criticality uses per-PC ground-truth criticality
+ * frequencies derived from chunked critical-path analysis.
+ */
+ConsumerAnalysis analyzeConsumers(const Trace &trace,
+                                  const SimResult &result,
+                                  const MachineConfig &config);
+
+} // namespace csim
+
+#endif // CSIM_CRITPATH_CONSUMER_ANALYSIS_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fields-style critical-path analysis over observed execution timings.
+ *
+ * The dependence-graph model gives every dynamic instruction three
+ * nodes: D (dispatch into the window), E (execution complete) and C
+ * (commit). Edges encode the machine constraints: in-order fetch and
+ * dispatch bandwidth, branch-misprediction redirects, ROB/window
+ * stalls, dataflow (with inter-cluster forwarding), functional-unit
+ * latency, issue contention and in-order commit. Because this
+ * implementation works from *observed* timestamps, the critical path is
+ * recovered with a backward "last-arriving edge" walk from the final
+ * commit, attributing every cycle of runtime to exactly one category
+ * (paper Sec. 3, Figs. 5-6).
+ */
+
+#ifndef CSIM_CRITPATH_DEPGRAPH_HH
+#define CSIM_CRITPATH_DEPGRAPH_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/timing.hh"
+#include "trace/trace.hh"
+
+namespace csim {
+
+/** Categories of critical-path cycles (Fig. 5 legend). */
+enum class CpCategory : std::uint8_t
+{
+    Fetch,          ///< front-end bandwidth, in-order fetch
+    BrMispredict,   ///< redirect + pipeline refill
+    Window,         ///< ROB full, window full, steering stalls
+    Execute,        ///< functional-unit latency (and fixed pipe steps)
+    MemLatency,     ///< load latency beyond the L1 load-to-use
+    FwdDelay,       ///< inter-cluster forwarding on critical dataflow
+    Contention,     ///< issue delayed past readiness
+    NumCategories
+};
+
+const char *cpCategoryName(CpCategory cat);
+
+inline constexpr std::size_t numCpCategories =
+    static_cast<std::size_t>(CpCategory::NumCategories);
+
+/** Cycle attribution plus the event counts behind Fig. 6. */
+struct CpBreakdown
+{
+    std::array<std::uint64_t, numCpCategories> cycles = {};
+
+    // Fig. 6(a): contention stall events by steer-time prediction.
+    std::uint64_t contentionEventsCritical = 0;
+    std::uint64_t contentionEventsOther = 0;
+
+    // Fig. 6(b): critical forwarding events by cause.
+    std::uint64_t fwdEventsLoadBal = 0;
+    std::uint64_t fwdEventsDyadic = 0;
+    std::uint64_t fwdEventsOther = 0;
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t c : cycles)
+            t += c;
+        return t;
+    }
+
+    std::uint64_t
+    operator[](CpCategory cat) const
+    {
+        return cycles[static_cast<std::size_t>(cat)];
+    }
+};
+
+/** Result of one critical-path walk. */
+struct CriticalPathResult
+{
+    CpBreakdown breakdown;
+    /** criticalExec[i - begin]: instruction i's E node is on the path. */
+    std::vector<bool> criticalExec;
+};
+
+/**
+ * Walk the critical path of the instruction range [begin, end).
+ *
+ * @param trace The full trace (records indexed absolutely).
+ * @param timing timing[i - begin] holds instruction i's timestamps.
+ * @param config The machine the timings came from.
+ * @param begin First instruction of the analysed region.
+ *
+ * When the range is the whole run starting at instruction 0, the
+ * attributed cycles sum exactly to the commit time of the last
+ * instruction. For interior chunks the walk stops at the region
+ * boundary, which is sufficient for predictor training.
+ */
+CriticalPathResult
+analyzeCriticalPath(const Trace &trace,
+                    std::span<const InstTiming> timing,
+                    const MachineConfig &config, std::uint64_t begin);
+
+} // namespace csim
+
+#endif // CSIM_CRITPATH_DEPGRAPH_HH

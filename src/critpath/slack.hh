@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Local slack analysis (paper Sec. 4's argument against slack as a
+ * scheduling metric).
+ *
+ * The slack of a dynamic instruction is how long its completion could
+ * have been delayed without delaying anything that consumed it. Fields
+ * et al. [9] define it globally; we compute the standard local
+ * approximation: the gap between a value's arrival and its first use.
+ * The paper's point (Sec. 4) is that slack is a *dynamic-instance*
+ * quantity — a branch has zero slack when mispredicted and enormous
+ * slack otherwise — so a static instruction's slack is a wide
+ * histogram, unusable as a single priority number, whereas LoC
+ * compresses dynamic behaviour into one static likelihood. The
+ * analysis here quantifies exactly that: per-static-instruction slack
+ * variability vs LoC's single number.
+ */
+
+#ifndef CSIM_CRITPATH_SLACK_HH
+#define CSIM_CRITPATH_SLACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/timing.hh"
+#include "trace/trace.hh"
+
+namespace csim {
+
+/** Slack statistics of one static instruction. */
+struct StaticSlack
+{
+    Addr pc = 0;
+    std::uint64_t instances = 0;
+    double meanSlack = 0.0;
+    double minSlack = 0.0;
+    double maxSlack = 0.0;
+    /** Standard deviation across dynamic instances. */
+    double stddev = 0.0;
+};
+
+struct SlackAnalysis
+{
+    /** Local slack per dynamic instruction (capped at `cap`). */
+    std::vector<Cycle> localSlack;
+    /** Per-static-instruction aggregation, sorted by instances. */
+    std::vector<StaticSlack> perStatic;
+    /** Fraction of static instructions (weighted by dynamic count)
+     *  whose slack stddev exceeds half their mean — the "wide
+     *  histogram" population that defeats a scalar slack metric. */
+    double highVarianceFraction = 0.0;
+};
+
+/**
+ * Compute local slack over a completed run.
+ *
+ * For an instruction with consumers, local slack is the smallest gap
+ * between its value's arrival at a consumer (complete + forwarding)
+ * and that consumer's issue. For an instruction with no consumers in
+ * the window, it is the gap to its own commit. Slack is capped so
+ * never-consumed values do not blow up the statistics.
+ */
+SlackAnalysis analyzeSlack(const Trace &trace, const SimResult &result,
+                           const MachineConfig &config,
+                           Cycle cap = 256);
+
+} // namespace csim
+
+#endif // CSIM_CRITPATH_SLACK_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Functional emulator: executes a Program and records the dynamic trace
+ * the timing models consume.
+ */
+
+#ifndef CSIM_EMU_EMULATOR_HH
+#define CSIM_EMU_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "emu/memory.hh"
+#include "isa/program.hh"
+#include "trace/trace.hh"
+
+namespace csim {
+
+/**
+ * Interprets a finalized Program, producing a Trace of committed
+ * (correct-path) instructions. Integer registers hold int64; floating
+ * point registers hold doubles stored in a separate file. The PC of a
+ * dynamic record is codeBase + 4 * static index, so static instruction
+ * identity (used by the PC-indexed predictors) is the instruction
+ * address.
+ */
+class Emulator
+{
+  public:
+    explicit Emulator(const Program &prog);
+
+    /** Pre-set an integer register before the run. */
+    void setReg(RegIndex reg, std::int64_t value);
+
+    /** Pre-set a memory word before the run. */
+    void poke(Addr addr, std::int64_t value);
+
+    /** Read a memory word after (or during) the run. */
+    std::int64_t peek(Addr addr) const { return mem_.read(addr); }
+
+    /** Read an integer register. */
+    std::int64_t reg(RegIndex r) const { return intRegs_.at(r); }
+
+    /**
+     * Run until Halt or until maxInstrs dynamic instructions have
+     * committed; Halt/Nop/trace bookkeeping do not enter the trace.
+     * @return the committed trace (producers not yet linked).
+     */
+    Trace run(std::uint64_t maxInstrs);
+
+    /** Base address of the code segment. */
+    static constexpr Addr codeBase = 0x1000;
+
+  private:
+    std::int64_t readInt(RegIndex r) const;
+    void writeInt(RegIndex r, std::int64_t v);
+    double readFp(RegIndex r) const;
+    void writeFp(RegIndex r, double v);
+
+    const Program &prog_;
+    SparseMemory mem_;
+    std::array<std::int64_t, numIntRegs> intRegs_ = {};
+    std::array<double, numFpRegs> fpRegs_ = {};
+};
+
+} // namespace csim
+
+#endif // CSIM_EMU_EMULATOR_HH

@@ -1,0 +1,29 @@
+#include "emu/memory.hh"
+
+namespace csim {
+
+std::int64_t
+SparseMemory::read(Addr addr) const
+{
+    const Addr page = addr >> pageShift;
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        return 0;
+    const std::size_t word =
+        (addr >> 3) & (wordsPerPage - 1);
+    return it->second->words[word];
+}
+
+void
+SparseMemory::write(Addr addr, std::int64_t value)
+{
+    const Addr page = addr >> pageShift;
+    auto &slot = pages_[page];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    const std::size_t word =
+        (addr >> 3) & (wordsPerPage - 1);
+    slot->words[word] = value;
+}
+
+} // namespace csim

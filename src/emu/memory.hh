@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sparse 64-bit simulated memory for the functional emulator.
+ *
+ * Backed by 4KB pages allocated on demand; word-granular (8-byte)
+ * accesses. Addresses need not be aligned; they are rounded down to the
+ * containing word, which is all the mini-ISA requires.
+ */
+
+#ifndef CSIM_EMU_MEMORY_HH
+#define CSIM_EMU_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace csim {
+
+class SparseMemory
+{
+  public:
+    /** Read the 8-byte word containing addr (zero if never written). */
+    std::int64_t read(Addr addr) const;
+
+    /** Write the 8-byte word containing addr. */
+    void write(Addr addr, std::int64_t value);
+
+    /** Number of pages currently allocated. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    static constexpr Addr pageShift = 12;
+    static constexpr std::size_t wordsPerPage =
+        (std::size_t{1} << pageShift) / 8;
+
+    struct Page
+    {
+        std::int64_t words[wordsPerPage] = {};
+    };
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace csim
+
+#endif // CSIM_EMU_MEMORY_HH

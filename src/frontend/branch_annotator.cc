@@ -1,0 +1,26 @@
+#include "frontend/branch_annotator.hh"
+
+#include "frontend/gshare.hh"
+
+namespace csim {
+
+BranchAnnotateResult
+annotateBranches(Trace &trace, unsigned history_bits)
+{
+    GsharePredictor pred(history_bits);
+    BranchAnnotateResult res;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        TraceRecord &rec = trace[i];
+        if (!rec.isCondBranch) {
+            rec.mispredicted = false;
+            continue;
+        }
+        ++res.condBranches;
+        rec.mispredicted = pred.mispredicts(rec.pc, rec.taken);
+        if (rec.mispredicted)
+            ++res.mispredictions;
+    }
+    return res;
+}
+
+} // namespace csim

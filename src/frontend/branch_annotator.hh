@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Branch annotation pass: runs the gshare predictor over a trace in
+ * program order and marks each conditional branch mispredicted or not.
+ * Unconditional direct jumps are always predicted correctly (perfect
+ * BTB, as implied by the paper's perfect instruction cache front end).
+ */
+
+#ifndef CSIM_FRONTEND_BRANCH_ANNOTATOR_HH
+#define CSIM_FRONTEND_BRANCH_ANNOTATOR_HH
+
+#include "trace/trace.hh"
+
+namespace csim {
+
+struct BranchAnnotateResult
+{
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredictions = 0;
+};
+
+/**
+ * Annotate rec.mispredicted for every conditional branch in the trace.
+ * @param history_bits gshare global history length.
+ */
+BranchAnnotateResult annotateBranches(Trace &trace,
+                                      unsigned history_bits = 16);
+
+} // namespace csim
+
+#endif // CSIM_FRONTEND_BRANCH_ANNOTATOR_HH

@@ -1,0 +1,36 @@
+#include "frontend/gshare.hh"
+
+#include "common/logging.hh"
+
+namespace csim {
+
+GsharePredictor::GsharePredictor(unsigned history_bits)
+    : historyBits_(history_bits),
+      historyMask_((1u << history_bits) - 1),
+      pht_(std::size_t{1} << history_bits,
+           SatCounter(2, 1, 1, 1))  // weakly not-taken
+{
+    CSIM_ASSERT(history_bits >= 1 && history_bits <= 24);
+}
+
+std::size_t
+GsharePredictor::index(Addr pc) const
+{
+    // Drop the 2 low zero bits of the word-aligned pc before hashing.
+    return ((pc >> 2) ^ history_) & historyMask_;
+}
+
+bool
+GsharePredictor::predict(Addr pc) const
+{
+    return pht_[index(pc)].atLeast(2);
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    pht_[index(pc)].train(taken);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+}
+
+} // namespace csim

@@ -1,0 +1,213 @@
+#include "harness/experiment.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+
+namespace csim {
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::ModN: return "mod-n";
+      case PolicyKind::LoadBal: return "load-balance";
+      case PolicyKind::Dep: return "dependence";
+      case PolicyKind::Focused: return "focused";
+      case PolicyKind::FocusedLoc: return "focused+loc";
+      case PolicyKind::FocusedLocStall: return "focused+loc+stall";
+      case PolicyKind::FocusedLocStallProactive:
+        return "focused+loc+stall+proactive";
+      default:
+        CSIM_PANIC("policyName: bad kind");
+    }
+}
+
+namespace {
+
+/** Everything a policy stack owns for one trace's runs. */
+struct PolicyStack
+{
+    std::unique_ptr<CriticalityPredictor> critPred;
+    std::unique_ptr<LocPredictor> locPred;
+    std::unique_ptr<OnlineCriticalityTrainer> trainer;
+    std::unique_ptr<SteeringPolicy> steering;
+    std::unique_ptr<SchedulingPolicy> scheduling;
+};
+
+PolicyStack
+makeStack(const Trace &trace, PolicyKind kind,
+          const ExperimentConfig &cfg)
+{
+    PolicyStack s;
+    switch (kind) {
+      case PolicyKind::ModN:
+        s.steering = std::make_unique<ModNSteering>();
+        s.scheduling = std::make_unique<AgeScheduling>();
+        break;
+      case PolicyKind::LoadBal:
+        s.steering = std::make_unique<LoadBalanceSteering>();
+        s.scheduling = std::make_unique<AgeScheduling>();
+        break;
+      case PolicyKind::Dep:
+        s.steering = std::make_unique<UnifiedSteering>(
+            UnifiedSteeringOptions{}, nullptr, nullptr);
+        s.scheduling = std::make_unique<AgeScheduling>();
+        break;
+      case PolicyKind::Focused: {
+        s.critPred = std::make_unique<CriticalityPredictor>();
+        UnifiedSteeringOptions opt;
+        opt.focusOnCritical = true;
+        s.steering = std::make_unique<UnifiedSteering>(
+            opt, s.critPred.get(), nullptr);
+        s.scheduling =
+            std::make_unique<CriticalScheduling>(*s.critPred);
+        s.trainer = std::make_unique<OnlineCriticalityTrainer>(
+            trace, s.critPred.get(), nullptr, cfg.trainChunk);
+        break;
+      }
+      case PolicyKind::FocusedLoc:
+      case PolicyKind::FocusedLocStall:
+      case PolicyKind::FocusedLocStallProactive: {
+        s.critPred = std::make_unique<CriticalityPredictor>();
+        LocPredictor::Params loc_params;
+        loc_params.levels = cfg.locLevels;
+        s.locPred = std::make_unique<LocPredictor>(loc_params);
+        UnifiedSteeringOptions opt;
+        opt.focusOnCritical = true;
+        opt.stallOverSteer = kind != PolicyKind::FocusedLoc;
+        opt.stallThreshold = cfg.stallThreshold;
+        opt.proactiveLB =
+            kind == PolicyKind::FocusedLocStallProactive;
+        s.steering = std::make_unique<UnifiedSteering>(
+            opt, s.critPred.get(), s.locPred.get());
+        s.scheduling = std::make_unique<LocScheduling>(*s.locPred);
+        s.trainer = std::make_unique<OnlineCriticalityTrainer>(
+            trace, s.critPred.get(), s.locPred.get(), cfg.trainChunk);
+        break;
+      }
+      default:
+        CSIM_PANIC("makeStack: bad kind");
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+PolicyRun
+runPolicy(const Trace &trace, const MachineConfig &machine,
+          PolicyKind kind, const ExperimentConfig &cfg)
+{
+    PolicyStack stack = makeStack(trace, kind, cfg);
+
+    // Warmup passes train the predictors across the whole trace.
+    for (unsigned w = 0; w < cfg.warmupRuns && stack.trainer; ++w) {
+        stack.trainer->restart();
+        TimingSim warm(machine, trace, *stack.steering,
+                       *stack.scheduling, stack.trainer.get());
+        (void)warm.run();
+    }
+
+    if (stack.trainer)
+        stack.trainer->restart();
+    TimingSim sim(machine, trace, *stack.steering, *stack.scheduling,
+                  stack.trainer.get(), cfg.simOptions);
+    PolicyRun out;
+    out.sim = sim.run();
+    out.breakdown = analyzeFullRun(trace, out.sim, machine);
+    return out;
+}
+
+namespace {
+
+void
+accumulate(AggregateResult &agg, std::uint64_t instructions,
+           Cycle cycles, const CpBreakdown &bd,
+           std::uint64_t global_values)
+{
+    agg.instructions += instructions;
+    agg.cycles += cycles;
+    for (std::size_t c = 0; c < numCpCategories; ++c)
+        agg.categoryCycles[c] += bd.cycles[c];
+    agg.contentionEventsCritical += bd.contentionEventsCritical;
+    agg.contentionEventsOther += bd.contentionEventsOther;
+    agg.fwdEventsLoadBal += bd.fwdEventsLoadBal;
+    agg.fwdEventsDyadic += bd.fwdEventsDyadic;
+    agg.fwdEventsOther += bd.fwdEventsOther;
+    agg.globalValues += global_values;
+}
+
+} // anonymous namespace
+
+AggregateResult
+runAggregate(const std::string &workload, const MachineConfig &machine,
+             PolicyKind kind, const ExperimentConfig &cfg)
+{
+    AggregateResult agg;
+    for (std::uint64_t seed : cfg.seeds) {
+        WorkloadConfig wcfg;
+        wcfg.targetInstructions = cfg.instructions;
+        wcfg.seed = seed;
+        Trace trace = buildAnnotatedTrace(workload, wcfg);
+        PolicyRun run = runPolicy(trace, machine, kind, cfg);
+        accumulate(agg, run.sim.instructions, run.sim.cycles,
+                   run.breakdown, run.sim.globalValues);
+    }
+    return agg;
+}
+
+AggregateResult
+runIdealAggregate(const std::string &workload,
+                  const MachineConfig &machine,
+                  const ExperimentConfig &cfg,
+                  ListSchedOptions::Priority priority)
+{
+    AggregateResult agg;
+    const MachineConfig ref = MachineConfig::monolithic();
+
+    for (std::uint64_t seed : cfg.seeds) {
+        WorkloadConfig wcfg;
+        wcfg.targetInstructions = cfg.instructions;
+        wcfg.seed = seed;
+        Trace trace = buildAnnotatedTrace(workload, wcfg);
+
+        // Reference 1x8w run supplies the dispatch constraints (the
+        // paper schedules traces retiring from the 1x8w back end).
+        UnifiedSteering steering(UnifiedSteeringOptions{}, nullptr,
+                                 nullptr);
+        AgeScheduling age;
+        SimResult ref_run =
+            TimingSim(ref, trace, steering, age).run();
+
+        ListSchedOptions opts;
+        opts.priority = priority;
+
+        // The non-oracle priorities need trained predictors: train
+        // them with a focused run on the reference machine.
+        CriticalityPredictor crit;
+        LocPredictor loc;
+        if (priority != ListSchedOptions::Priority::DataflowHeight) {
+            OnlineCriticalityTrainer trainer(trace, &crit, &loc,
+                                             cfg.trainChunk);
+            UnifiedSteeringOptions fopt;
+            fopt.focusOnCritical = true;
+            UnifiedSteering fsteer(fopt, &crit, nullptr);
+            CriticalScheduling fsched(crit);
+            TimingSim train_sim(ref, trace, fsteer, fsched, &trainer);
+            (void)train_sim.run();
+            opts.locPred = &loc;
+            opts.critPred = &crit;
+        }
+
+        ListSchedResult sched =
+            listSchedule(trace, ref_run.timing, machine, opts);
+        CpBreakdown empty;
+        accumulate(agg, sched.instructions, sched.cycles, empty,
+                   sched.globalValues);
+    }
+    return agg;
+}
+
+} // namespace csim

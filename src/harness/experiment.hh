@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment harness: wires predictors, trainer, steering and
+ * scheduling together for each policy the paper evaluates, runs
+ * benchmark x machine x policy sweeps with seed averaging, and returns
+ * aggregate CPI + critical-path statistics. All bench binaries build
+ * on these entry points.
+ */
+
+#ifndef CSIM_HARNESS_EXPERIMENT_HH
+#define CSIM_HARNESS_EXPERIMENT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/timing_sim.hh"
+#include "critpath/attribution.hh"
+#include "listsched/list_scheduler.hh"
+#include "workloads/registry.hh"
+
+namespace csim {
+
+/** The steering/scheduling policy stacks evaluated in the paper. */
+enum class PolicyKind
+{
+    ModN,            ///< round-robin baseline
+    LoadBal,         ///< least-loaded baseline
+    Dep,             ///< dependence-based steering, age scheduling
+    Focused,         ///< Fields et al. focused steering & scheduling
+    FocusedLoc,      ///< + LoC-based scheduling          (Fig. 14 'l')
+    FocusedLocStall, ///< + stall-over-steer              (Fig. 14 's')
+    FocusedLocStallProactive, ///< + proactive load-bal.  (Fig. 14 'p')
+};
+
+const char *policyName(PolicyKind kind);
+
+struct ExperimentConfig
+{
+    std::uint64_t instructions = 60000;
+    std::vector<std::uint64_t> seeds = {1, 2, 3};
+    /** Full-trace runs used to warm the predictors before measuring
+     *  (the paper warms predictors/caches before its samples). */
+    unsigned warmupRuns = 1;
+    /** Commit-chunk length for online criticality training. */
+    std::uint64_t trainChunk = 8192;
+    /** Stall-over-steer LoC threshold (paper: 30%). */
+    double stallThreshold = 0.30;
+    /** LoC predictor strata (paper: 16 levels in 4 bits). */
+    unsigned locLevels = 16;
+    SimOptions simOptions = {};
+};
+
+/** Seed-aggregated outcome of a (workload, machine, policy) cell. */
+struct AggregateResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    /** Critical-path cycles per category, summed over seeds. */
+    std::array<std::uint64_t, numCpCategories> categoryCycles = {};
+    std::uint64_t contentionEventsCritical = 0;
+    std::uint64_t contentionEventsOther = 0;
+    std::uint64_t fwdEventsLoadBal = 0;
+    std::uint64_t fwdEventsDyadic = 0;
+    std::uint64_t fwdEventsOther = 0;
+    std::uint64_t globalValues = 0;
+
+    double
+    cpi() const
+    {
+        return instructions ? static_cast<double>(cycles) /
+            static_cast<double>(instructions) : 0.0;
+    }
+
+    /** Per-category contribution expressed in CPI units. */
+    double
+    categoryCpi(CpCategory cat) const
+    {
+        return instructions ?
+            static_cast<double>(
+                categoryCycles[static_cast<std::size_t>(cat)]) /
+            static_cast<double>(instructions) : 0.0;
+    }
+
+    double
+    globalValuesPerInst() const
+    {
+        return instructions ? static_cast<double>(globalValues) /
+            static_cast<double>(instructions) : 0.0;
+    }
+};
+
+/** One policy run over one already-built trace (no seed averaging). */
+struct PolicyRun
+{
+    SimResult sim;
+    CpBreakdown breakdown;
+};
+
+/**
+ * Run a policy stack on a trace. Predictors are created fresh, warmed
+ * with cfg.warmupRuns full passes, then the measured run is performed
+ * (training continues during measurement, as in real hardware).
+ */
+PolicyRun runPolicy(const Trace &trace, const MachineConfig &machine,
+                    PolicyKind kind, const ExperimentConfig &cfg);
+
+/** Seed-averaged policy evaluation for one workload. */
+AggregateResult runAggregate(const std::string &workload,
+                             const MachineConfig &machine,
+                             PolicyKind kind,
+                             const ExperimentConfig &cfg);
+
+/**
+ * Seed-averaged idealized list scheduling (Sec. 2.2): for each seed,
+ * runs the 1x8w reference machine (dependence steering, age
+ * scheduling) to obtain dispatch constraints and then list-schedules
+ * the trace onto the target machine.
+ */
+AggregateResult runIdealAggregate(const std::string &workload,
+                                  const MachineConfig &machine,
+                                  const ExperimentConfig &cfg,
+                                  ListSchedOptions::Priority priority =
+                                      ListSchedOptions::Priority::
+                                          DataflowHeight);
+
+} // namespace csim
+
+#endif // CSIM_HARNESS_EXPERIMENT_HH

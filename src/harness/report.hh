@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reporting helpers shared by the bench binaries: the (workload x
+ * config) grids with an AVE column that every figure in the paper
+ * uses, plus small math utilities.
+ */
+
+#ifndef CSIM_HARNESS_REPORT_HH
+#define CSIM_HARNESS_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csim {
+
+/**
+ * A figure-style grid: rows are workloads (plus an AVE row appended
+ * automatically), columns are machine configurations / policy bars.
+ */
+class FigureGrid
+{
+  public:
+    FigureGrid(std::string title, std::vector<std::string> columns);
+
+    void set(const std::string &workload, const std::string &column,
+             double value);
+
+    /** Arithmetic mean down each column (the paper's AVE bars). */
+    double columnAverage(const std::string &column) const;
+
+    /** Render with fixed-width columns; values with 3 decimals. */
+    std::string str() const;
+
+    const std::vector<std::string> &columns() const { return columns_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::string> rowOrder_;
+    std::map<std::string, std::map<std::string, double>> cells_;
+};
+
+/** Arithmetic mean of a vector (0 when empty). */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean of a vector (0 when empty). */
+double geomean(const std::vector<double> &xs);
+
+} // namespace csim
+
+#endif // CSIM_HARNESS_REPORT_HH

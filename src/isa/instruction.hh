@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static instruction representation for the mini-ISA.
+ */
+
+#ifndef CSIM_ISA_INSTRUCTION_HH
+#define CSIM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace csim {
+
+/**
+ * One static instruction. Three-operand format:
+ *
+ *   alu   dest, src1, src2        (Add..Cmple, Mul, Fadd..Fdiv)
+ *   addi  dest, src1, imm
+ *   lui   dest, imm
+ *   ld    dest, imm(src1)
+ *   st    src2, imm(src1)
+ *   beq/bne src1, target          (target = static instruction index)
+ *   jmp   target
+ *
+ * Integer registers are 0..31 (r31 hardwired to zero); floating point
+ * registers are numIntRegs..numIntRegs+31. Branch targets are static
+ * instruction indices, patched from labels by Program::finalize().
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegIndex dest = zeroReg;
+    RegIndex src1 = zeroReg;
+    RegIndex src2 = zeroReg;
+    std::int64_t imm = 0;
+
+    bool hasDest() const { return writesDest(op) && dest != zeroReg; }
+
+    /** Number of register source operands actually read. */
+    int
+    numSrcs() const
+    {
+        switch (op) {
+          case Opcode::Lui:
+          case Opcode::Jmp:
+          case Opcode::Nop:
+          case Opcode::Halt:
+            return 0;
+          case Opcode::Addi:
+          case Opcode::Ld:
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Itof:
+            return 1;
+          default:
+            return 2;
+        }
+    }
+};
+
+} // namespace csim
+
+#endif // CSIM_ISA_INSTRUCTION_HH

@@ -1,0 +1,117 @@
+#include "isa/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace csim {
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+        return OpClass::IntMul;
+      case Opcode::Ld:
+        return OpClass::Load;
+      case Opcode::St:
+        return OpClass::Store;
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::Fcmp:
+      case Opcode::Itof:
+        return OpClass::FpAlu;
+      case Opcode::Fdiv:
+        return OpClass::FpDiv;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+unsigned
+opLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+        return 7;
+      case Opcode::Ld:
+        return 3;   // load-to-use on an L1 hit
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::Fcmp:
+      case Opcode::Itof:
+        return 4;
+      case Opcode::Fdiv:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+bool
+isBranch(Opcode op)
+{
+    return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Jmp;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::Beq || op == Opcode::Bne;
+}
+
+bool
+isMem(Opcode op)
+{
+    return op == Opcode::Ld || op == Opcode::St;
+}
+
+bool
+writesDest(Opcode op)
+{
+    switch (op) {
+      case Opcode::St:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Jmp:
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+std::string_view
+opName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Cmpeq: return "cmpeq";
+      case Opcode::Cmplt: return "cmplt";
+      case Opcode::Cmple: return "cmple";
+      case Opcode::Addi: return "addi";
+      case Opcode::Lui: return "lui";
+      case Opcode::Mul: return "mul";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fcmp: return "fcmp";
+      case Opcode::Itof: return "itof";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      default:
+        CSIM_PANIC("opName: bad opcode");
+    }
+}
+
+} // namespace csim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Opcodes and operation classes for the mini Alpha-like ISA.
+ *
+ * The timing study only needs op *classes* (which functional-unit port an
+ * instruction uses) and latencies (the paper matches the Alpha 21264
+ * latency model); the concrete opcodes exist so workloads can be written
+ * as real programs and executed functionally.
+ */
+
+#ifndef CSIM_ISA_OPCODE_HH
+#define CSIM_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace csim {
+
+enum class Opcode : std::uint8_t {
+    // Integer ALU (1 cycle).
+    Add, Sub, And, Or, Xor, Sll, Srl,
+    Cmpeq, Cmplt, Cmple,
+    Addi,       ///< dest = src1 + imm (also serves as LDA/MOV).
+    Lui,        ///< dest = imm.
+    // Integer multiply (7 cycles, 21264 MUL latency).
+    Mul,
+    // Memory.
+    Ld,         ///< dest = mem[src1 + imm].
+    St,         ///< mem[src1 + imm] = src2.
+    // Floating point (4 cycles; divide 12).
+    Fadd, Fmul, Fcmp, Itof,
+    Fdiv,
+    // Control. Conditional branches test src1 against zero.
+    Beq,        ///< taken if src1 == 0.
+    Bne,        ///< taken if src1 != 0.
+    Jmp,        ///< unconditional direct jump.
+    // Pseudo.
+    Nop,
+    Halt,       ///< stop functional emulation.
+
+    NumOpcodes
+};
+
+/** Functional-unit port class; determines per-cluster issue limits. */
+enum class OpClass : std::uint8_t {
+    IntAlu,     ///< single-cycle integer ops and branches
+    IntMul,     ///< pipelined integer multiply (uses an int port)
+    FpAlu,      ///< floating point add/mul/cmp/convert
+    FpDiv,      ///< floating point divide (uses the fp port)
+    Load,
+    Store,
+    NumClasses
+};
+
+/** Port class for an opcode. */
+OpClass opClass(Opcode op);
+
+/**
+ * Nominal execution latency in cycles (Alpha 21264 model). Loads report
+ * the 3-cycle load-to-use hit latency; the cache annotation pass replaces
+ * it on a miss.
+ */
+unsigned opLatency(Opcode op);
+
+/** True for Beq/Bne/Jmp. */
+bool isBranch(Opcode op);
+
+/** True only for the conditional branches (Beq/Bne). */
+bool isCondBranch(Opcode op);
+
+/** True for Ld/St. */
+bool isMem(Opcode op);
+
+/** True when the opcode writes a destination register. */
+bool writesDest(Opcode op);
+
+/** Mnemonic for disassembly. */
+std::string_view opName(Opcode op);
+
+/** True when the op class issues through a memory port. */
+inline bool
+isMemClass(OpClass c)
+{
+    return c == OpClass::Load || c == OpClass::Store;
+}
+
+/** True when the op class issues through a floating point port. */
+inline bool
+isFpClass(OpClass c)
+{
+    return c == OpClass::FpAlu || c == OpClass::FpDiv;
+}
+
+/** True when the op class issues through an integer port. */
+inline bool
+isIntClass(OpClass c)
+{
+    return c == OpClass::IntAlu || c == OpClass::IntMul;
+}
+
+} // namespace csim
+
+#endif // CSIM_ISA_OPCODE_HH

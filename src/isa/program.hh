@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Program builder: a tiny assembler with labels for writing the workload
+ * proxies directly in C++.
+ */
+
+#ifndef CSIM_ISA_PROGRAM_HH
+#define CSIM_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace csim {
+
+/** Forward-patchable branch target. */
+struct Label
+{
+    int id = -1;
+};
+
+/**
+ * A program in the mini-ISA. Built with one method per opcode; branch
+ * targets are labels bound with bind() and resolved by finalize().
+ *
+ * Register naming helpers: r(i) for integer register i, f(i) for
+ * floating point register i.
+ */
+class Program
+{
+  public:
+    /** Integer register i as a RegIndex. */
+    static RegIndex
+    r(int i)
+    {
+        CSIM_ASSERT(i >= 0 && i < numIntRegs);
+        return static_cast<RegIndex>(i);
+    }
+
+    /** Floating point register i as a RegIndex. */
+    static RegIndex
+    f(int i)
+    {
+        CSIM_ASSERT(i >= 0 && i < numFpRegs);
+        return static_cast<RegIndex>(numIntRegs + i);
+    }
+
+    Label newLabel();
+
+    /** Bind a label to the next emitted instruction. */
+    void bind(Label l);
+
+    // Three-operand ALU ops.
+    void add(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Add, d, a, b); }
+    void sub(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Sub, d, a, b); }
+    void and_(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::And, d, a, b); }
+    void or_(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Or, d, a, b); }
+    void xor_(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Xor, d, a, b); }
+    void sll(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Sll, d, a, b); }
+    void srl(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Srl, d, a, b); }
+    void cmpeq(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Cmpeq, d, a, b); }
+    void cmplt(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Cmplt, d, a, b); }
+    void cmple(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Cmple, d, a, b); }
+    void mul(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Mul, d, a, b); }
+    void fadd(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Fadd, d, a, b); }
+    void fmul(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Fmul, d, a, b); }
+    void fcmp(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Fcmp, d, a, b); }
+    void fdiv(RegIndex d, RegIndex a, RegIndex b) { emitRRR(Opcode::Fdiv, d, a, b); }
+
+    /** dest = src + imm. Also used as "mov" (imm 0) and "lda". */
+    void addi(RegIndex d, RegIndex a, std::int64_t imm);
+    /** dest = imm. */
+    void lui(RegIndex d, std::int64_t imm);
+    /** dest = (double)src. */
+    void itof(RegIndex d, RegIndex a);
+    /** dest = mem[base + disp]. */
+    void ld(RegIndex d, RegIndex base, std::int64_t disp = 0);
+    /** mem[base + disp] = value. */
+    void st(RegIndex value, RegIndex base, std::int64_t disp = 0);
+    /** Branch to l if src == 0. */
+    void beq(RegIndex src, Label l);
+    /** Branch to l if src != 0. */
+    void bne(RegIndex src, Label l);
+    /** Unconditional jump. */
+    void jmp(Label l);
+    void nop();
+    void halt();
+
+    /**
+     * Resolve all labels. Must be called once, after which the program is
+     * immutable and executable.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+    std::size_t size() const { return instrs_.size(); }
+    const Instruction &at(std::size_t i) const { return instrs_.at(i); }
+    const std::vector<Instruction> &instructions() const { return instrs_; }
+
+    /** Human-readable listing (for debugging and the examples). */
+    std::string disassemble() const;
+
+  private:
+    void emitRRR(Opcode op, RegIndex d, RegIndex a, RegIndex b);
+    void emitBranch(Opcode op, RegIndex src, Label l);
+    void checkMutable() const;
+
+    std::vector<Instruction> instrs_;
+    /** Per-label bound instruction index, or -1 while unbound. */
+    std::vector<std::int64_t> labelTargets_;
+    /** (instruction index, label id) pairs awaiting patching. */
+    std::vector<std::pair<std::size_t, int>> fixups_;
+    bool finalized_ = false;
+};
+
+} // namespace csim
+
+#endif // CSIM_ISA_PROGRAM_HH

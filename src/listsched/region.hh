@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Region splitting for the idealized list scheduler (paper Sec. 2.2,
+ * footnote 2): the trace is divided at mispredicted branches — the
+ * natural serialisation points of the critical path — and each region
+ * is scheduled independently; summing the spans gives a conservative
+ * estimate of total runtime. Regions are also capped at the ROB size,
+ * since no machine can consider more instructions at once.
+ */
+
+#ifndef CSIM_LISTSCHED_REGION_HH
+#define CSIM_LISTSCHED_REGION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace csim {
+
+struct Region
+{
+    std::uint64_t begin;
+    std::uint64_t end;    // one past the last instruction
+    /** Region ends with a mispredicted branch (a real split). */
+    bool endsWithMispredict;
+};
+
+/**
+ * Split [0, trace.size()) at mispredicted branches, capping region
+ * length at max_length.
+ */
+std::vector<Region> splitRegions(const Trace &trace,
+                                 std::uint64_t max_length = 256);
+
+} // namespace csim
+
+#endif // CSIM_LISTSCHED_REGION_HH

@@ -1,0 +1,76 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    CSIM_ASSERT(config.lineBytes > 0 &&
+                std::has_single_bit(std::uint64_t{config.lineBytes}));
+    CSIM_ASSERT(config.assoc > 0);
+    const std::uint64_t lines = config.sizeBytes / config.lineBytes;
+    CSIM_ASSERT(lines % config.assoc == 0);
+    numSets_ = static_cast<unsigned>(lines / config.assoc);
+    CSIM_ASSERT(std::has_single_bit(std::uint64_t{numSets_}));
+    lineShift_ = static_cast<unsigned>(
+        std::countr_zero(std::uint64_t{config.lineBytes}));
+    ways_.resize(static_cast<std::size_t>(numSets_) * config.assoc);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++stats_.accesses;
+    ++tick_;
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    const Addr tag = tagOf(addr);
+
+    std::size_t victim = base;
+    for (std::size_t w = base; w < base + config_.assoc; ++w) {
+        if (ways_[w].valid && ways_[w].tag == tag) {
+            ways_[w].lruStamp = tick_;
+            return true;
+        }
+        if (!ways_[w].valid) {
+            victim = w;
+        } else if (ways_[victim].valid &&
+                   ways_[w].lruStamp < ways_[victim].lruStamp) {
+            victim = w;
+        }
+    }
+
+    ++stats_.misses;
+    ways_[victim].tag = tag;
+    ways_[victim].valid = true;
+    ways_[victim].lruStamp = tick_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    const Addr tag = tagOf(addr);
+    for (std::size_t w = base; w < base + config_.assoc; ++w)
+        if (ways_[w].valid && ways_[w].tag == tag)
+            return true;
+    return false;
+}
+
+} // namespace csim

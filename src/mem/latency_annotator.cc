@@ -1,0 +1,32 @@
+#include "mem/latency_annotator.hh"
+
+#include "common/logging.hh"
+
+namespace csim {
+
+MemAnnotateResult
+annotateMemory(Trace &trace, const MemoryModelConfig &config)
+{
+    Cache l1(config.l1);
+    MemAnnotateResult res;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        TraceRecord &rec = trace[i];
+        if (rec.isLoad()) {
+            bool hit = l1.access(rec.memAddr);
+            rec.l1Miss = !hit;
+            unsigned lat = config.loadToUse + (hit ? 0 : config.l2Latency);
+            CSIM_ASSERT(lat <= 255);
+            rec.execLat = static_cast<std::uint8_t>(lat);
+            if (!hit)
+                ++res.loadMisses;
+        } else if (rec.isStore()) {
+            l1.access(rec.memAddr);
+        }
+    }
+
+    res.l1 = l1.stats();
+    return res;
+}
+
+} // namespace csim

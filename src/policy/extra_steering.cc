@@ -1,0 +1,213 @@
+#include "policy/extra_steering.hh"
+
+#include "common/logging.hh"
+
+namespace csim {
+
+// ---------------------------------------------------------------------
+// BlockSteering
+
+void
+BlockSteering::reset(const CoreView &view, std::size_t trace_size)
+{
+    (void)view;
+    (void)trace_size;
+    current_ = 0;
+    blockOpen_ = false;
+}
+
+SteerDecision
+BlockSteering::steer(const CoreView &view, const SteerRequest &req)
+{
+    const unsigned n = view.config().numClusters;
+    SteerDecision d;
+    if (n == 1) {
+        d.cluster = 0;
+        d.reason = SteerReason::Monolithic;
+        return d;
+    }
+
+    if (!blockOpen_ || view.windowFree(current_) == 0) {
+        // Start a new block (or spill a full one): rotate to the next
+        // cluster with room.
+        ClusterId c = current_;
+        for (unsigned tries = 0; tries < n; ++tries) {
+            c = static_cast<ClusterId>((c + 1) % n);
+            if (view.windowFree(c) > 0)
+                break;
+        }
+        CSIM_ASSERT(view.windowFree(c) > 0);
+        current_ = c;
+        blockOpen_ = true;
+    }
+
+    d.cluster = current_;
+    d.reason = SteerReason::NoProducer;
+    (void)req;
+    return d;
+}
+
+void
+BlockSteering::notifySteered(const CoreView &view,
+                             const SteerRequest &req,
+                             const SteerDecision &decision)
+{
+    (void)view;
+    (void)decision;
+    // A branch ends the basic block.
+    if (req.rec->isBranch)
+        blockOpen_ = false;
+}
+
+// ---------------------------------------------------------------------
+// AdaptiveClusterSteering
+
+AdaptiveClusterSteering::AdaptiveClusterSteering(
+    std::uint64_t interval, unsigned exploit_intervals)
+    : interval_(interval), exploitIntervals_(exploit_intervals)
+{
+    CSIM_ASSERT(interval >= 64);
+}
+
+void
+AdaptiveClusterSteering::reset(const CoreView &view,
+                               std::size_t trace_size)
+{
+    (void)trace_size;
+    candidates_.clear();
+    const unsigned n = view.config().numClusters;
+    for (unsigned k = 1; k <= n; k *= 2)
+        candidates_.push_back(k);
+    if (candidates_.back() != n)
+        candidates_.push_back(n);
+
+    phase_ = Phase::Explore;
+    exploreIdx_ = 0;
+    active_ = candidates_.front();
+    bestIpc_ = 0.0;
+    bestActive_ = active_;
+    steeredInInterval_ = 0;
+    intervalStart_ = view.now();
+}
+
+ClusterId
+AdaptiveClusterSteering::leastLoadedActive(const CoreView &view) const
+{
+    ClusterId best = invalidCluster;
+    for (unsigned c = 0; c < active_; ++c) {
+        const ClusterId cid = static_cast<ClusterId>(c);
+        if (view.windowFree(cid) == 0)
+            continue;
+        if (best == invalidCluster ||
+            view.windowOccupancy(cid) < view.windowOccupancy(best))
+            best = cid;
+    }
+    return best;
+}
+
+void
+AdaptiveClusterSteering::maybeAdvanceInterval(const CoreView &view)
+{
+    if (steeredInInterval_ < interval_)
+        return;
+
+    const Cycle elapsed = view.now() > intervalStart_
+        ? view.now() - intervalStart_ : 1;
+    const double ipc = static_cast<double>(steeredInInterval_) /
+        static_cast<double>(elapsed);
+
+    if (phase_ == Phase::Explore) {
+        if (ipc > bestIpc_) {
+            bestIpc_ = ipc;
+            bestActive_ = active_;
+        }
+        ++exploreIdx_;
+        if (exploreIdx_ < candidates_.size()) {
+            active_ = candidates_[exploreIdx_];
+        } else {
+            phase_ = Phase::Exploit;
+            active_ = bestActive_;
+            exploitLeft_ = exploitIntervals_;
+        }
+    } else {
+        if (--exploitLeft_ == 0) {
+            phase_ = Phase::Explore;
+            exploreIdx_ = 0;
+            active_ = candidates_.front();
+            bestIpc_ = 0.0;
+        }
+    }
+
+    steeredInInterval_ = 0;
+    intervalStart_ = view.now();
+}
+
+SteerDecision
+AdaptiveClusterSteering::steer(const CoreView &view,
+                               const SteerRequest &req)
+{
+    maybeAdvanceInterval(view);
+    const TraceRecord &rec = *req.rec;
+    SteerDecision d;
+
+    if (view.config().numClusters == 1) {
+        d.cluster = 0;
+        d.reason = SteerReason::Monolithic;
+        return d;
+    }
+
+    // Dependence-based steering restricted to the active subset.
+    InstId prod = invalidInstId;
+    for (int slot = srcSlot1; slot <= srcSlot2; ++slot) {
+        const InstId p = rec.prod[slot];
+        if (p == invalidInstId || !view.inFlight(p))
+            continue;
+        if (view.clusterOf(p) >= active_)
+            continue;  // parked on an inactive cluster
+        if (prod == invalidInstId || p > prod)
+            prod = p;
+    }
+
+    if (prod != invalidInstId) {
+        const ClusterId pc = view.clusterOf(prod);
+        if (view.windowFree(pc) > 0) {
+            d.cluster = pc;
+            d.reason = SteerReason::Collocated;
+            d.desired = pc;
+            return d;
+        }
+        d.desired = pc;
+        const ClusterId lb = leastLoadedActive(view);
+        if (lb != invalidCluster) {
+            d.cluster = lb;
+            d.reason = SteerReason::LoadBalanced;
+            return d;
+        }
+        // Active set completely full: stall until it drains (the
+        // inactive clusters are deliberately unused).
+        d.stall = true;
+        return d;
+    }
+
+    const ClusterId lb = leastLoadedActive(view);
+    if (lb == invalidCluster) {
+        d.stall = true;
+        return d;
+    }
+    d.cluster = lb;
+    d.reason = SteerReason::NoProducer;
+    return d;
+}
+
+void
+AdaptiveClusterSteering::notifySteered(const CoreView &view,
+                                       const SteerRequest &req,
+                                       const SteerDecision &decision)
+{
+    (void)view;
+    (void)req;
+    (void)decision;
+    ++steeredInInterval_;
+}
+
+} // namespace csim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Additional steering policies from the clustered-processor
+ * literature, for baselines and the cluster-sweep study:
+ *
+ *  - BlockSteering (Baniasadi & Moshovos [3] style): whole basic
+ *    blocks go to one cluster, blocks rotate across clusters. Cheap
+ *    hardware, decent locality within blocks, no dataflow awareness.
+ *  - AdaptiveClusterSteering (Balasubramonian et al. [2] style):
+ *    dependence-based steering restricted to a subset of active
+ *    clusters whose size is tuned at runtime by interval-based
+ *    exploration — fewer active clusters trade peak throughput for
+ *    communication locality, which wins for low-ILP phases (the
+ *    observation the paper revisits in Sec. 5).
+ */
+
+#ifndef CSIM_POLICY_EXTRA_STEERING_HH
+#define CSIM_POLICY_EXTRA_STEERING_HH
+
+#include <vector>
+
+#include "core/policy.hh"
+
+namespace csim {
+
+/** Whole basic blocks to one cluster; blocks rotate. */
+class BlockSteering : public SteeringPolicy
+{
+  public:
+    void reset(const CoreView &view, std::size_t trace_size) override;
+    SteerDecision steer(const CoreView &view,
+                        const SteerRequest &req) override;
+    void notifySteered(const CoreView &view, const SteerRequest &req,
+                       const SteerDecision &decision) override;
+    const char *name() const override { return "block"; }
+
+  private:
+    ClusterId current_ = 0;
+    bool blockOpen_ = false;
+};
+
+/** Interval-based adaptive active-cluster-count steering. */
+class AdaptiveClusterSteering : public SteeringPolicy
+{
+  public:
+    /**
+     * @param interval Instructions per measurement interval.
+     * @param exploit_intervals Intervals to run the winning
+     *        configuration before re-exploring.
+     */
+    explicit AdaptiveClusterSteering(std::uint64_t interval = 2048,
+                                     unsigned exploit_intervals = 8);
+
+    void reset(const CoreView &view, std::size_t trace_size) override;
+    SteerDecision steer(const CoreView &view,
+                        const SteerRequest &req) override;
+    void notifySteered(const CoreView &view, const SteerRequest &req,
+                       const SteerDecision &decision) override;
+    const char *name() const override { return "adaptive"; }
+
+    unsigned activeClusters() const { return active_; }
+
+  private:
+    void maybeAdvanceInterval(const CoreView &view);
+    ClusterId leastLoadedActive(const CoreView &view) const;
+
+    std::uint64_t interval_;
+    unsigned exploitIntervals_;
+
+    // Candidate active-cluster counts (powers of two up to N).
+    std::vector<unsigned> candidates_;
+    unsigned active_ = 1;
+
+    enum class Phase { Explore, Exploit };
+    Phase phase_ = Phase::Explore;
+    std::size_t exploreIdx_ = 0;
+    unsigned exploitLeft_ = 0;
+    double bestIpc_ = 0.0;
+    unsigned bestActive_ = 1;
+
+    std::uint64_t steeredInInterval_ = 0;
+    Cycle intervalStart_ = 0;
+};
+
+} // namespace csim
+
+#endif // CSIM_POLICY_EXTRA_STEERING_HH

@@ -1,0 +1,3 @@
+// Scheduling policies are header-only; this translation unit exercises
+// the header standalone (include hygiene).
+#include "policy/scheduling.hh"

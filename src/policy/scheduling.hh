@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Issue-priority (scheduling) policies.
+ *
+ * Age: classic oldest-first selection.
+ * Critical: Fields's focused scheduling — predicted-critical
+ *     instructions issue before others, ties by age (paper Sec. 2.3).
+ * LoC: prioritise by likelihood of criticality, a 16-way spectrum that
+ *     distinguishes degrees of criticality (paper Sec. 4).
+ */
+
+#ifndef CSIM_POLICY_SCHEDULING_HH
+#define CSIM_POLICY_SCHEDULING_HH
+
+#include <algorithm>
+
+#include "core/policy.hh"
+#include "predict/criticality_predictor.hh"
+#include "predict/loc_predictor.hh"
+
+namespace csim {
+
+/** Oldest-first issue. */
+class AgeScheduling : public SchedulingPolicy
+{
+  public:
+    std::uint32_t
+    priorityClass(const TraceRecord &rec) override
+    {
+        (void)rec;
+        return 0;
+    }
+
+    const char *name() const override { return "age"; }
+};
+
+/** Predicted-critical instructions first; ties broken by age. */
+class CriticalScheduling : public SchedulingPolicy
+{
+  public:
+    explicit CriticalScheduling(const CriticalityPredictor &pred)
+        : pred_(pred)
+    {}
+
+    std::uint32_t
+    priorityClass(const TraceRecord &rec) override
+    {
+        return pred_.predict(rec.pc) ? 0 : 1;
+    }
+
+    const char *name() const override { return "critical"; }
+
+  private:
+    const CriticalityPredictor &pred_;
+};
+
+/** Higher likelihood of criticality issues first; ties by age. */
+class LocScheduling : public SchedulingPolicy
+{
+  public:
+    explicit LocScheduling(const LocPredictor &loc)
+        : loc_(loc)
+    {}
+
+    std::uint32_t
+    priorityClass(const TraceRecord &rec) override
+    {
+        // Full LoC resolution among likely-critical instructions, but
+        // one shared class for the never/rarely-critical mass: the
+        // probabilistic counters carry about a level of noise, and
+        // spurious priority inversions among equally non-critical
+        // instructions (breaking age order) cost more than the last
+        // bit of LoC resolution buys.
+        const unsigned level = loc_.level(rec.pc);
+        const unsigned top = loc_.levels() - 1;
+        const unsigned low = std::max(2u, loc_.levels() / 8);
+        return level >= low ? top - level : top - low + 1;
+    }
+
+    const char *name() const override { return "loc"; }
+
+  private:
+    const LocPredictor &loc_;
+};
+
+} // namespace csim
+
+#endif // CSIM_POLICY_SCHEDULING_HH

@@ -1,0 +1,49 @@
+#include "predict/criticality_predictor.hh"
+
+namespace csim {
+
+CriticalityPredictor::CriticalityPredictor()
+    : CriticalityPredictor(Params{})
+{
+}
+
+CriticalityPredictor::CriticalityPredictor(const Params &params)
+    : params_(params),
+      mask_((std::size_t{1} << params.tableBits) - 1),
+      table_(std::size_t{1} << params.tableBits,
+             SatCounter(params.counterBits, params.up, params.down, 0))
+{
+}
+
+std::size_t
+CriticalityPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & mask_;
+}
+
+bool
+CriticalityPredictor::predict(Addr pc) const
+{
+    return table_[index(pc)].atLeast(params_.threshold);
+}
+
+void
+CriticalityPredictor::train(Addr pc, bool critical)
+{
+    table_[index(pc)].train(critical);
+}
+
+unsigned
+CriticalityPredictor::counterValue(Addr pc) const
+{
+    return table_[index(pc)].value();
+}
+
+void
+CriticalityPredictor::reset()
+{
+    for (SatCounter &c : table_)
+        c.reset();
+}
+
+} // namespace csim

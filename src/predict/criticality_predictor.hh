@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fields et al.'s binary criticality predictor: a PC-indexed table of
+ * 6-bit saturating counters that increment by 8 when an instruction
+ * trains critical and decrement by 1 otherwise; an instruction is
+ * predicted critical when its counter reaches the threshold (8). Thus 1
+ * in 8 instances being critical suffices for a "critical" prediction
+ * (paper Sec. 4, footnote 6).
+ */
+
+#ifndef CSIM_PREDICT_CRITICALITY_PREDICTOR_HH
+#define CSIM_PREDICT_CRITICALITY_PREDICTOR_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace csim {
+
+class CriticalityPredictor
+{
+  public:
+    struct Params
+    {
+        unsigned tableBits = 12;
+        unsigned counterBits = 6;
+        unsigned up = 8;
+        unsigned down = 1;
+        unsigned threshold = 8;
+    };
+
+    CriticalityPredictor();
+    explicit CriticalityPredictor(const Params &params);
+
+    /** Predict whether the static instruction at pc is critical. */
+    bool predict(Addr pc) const;
+
+    /** Train with one dynamic instance's detected criticality. */
+    void train(Addr pc, bool critical);
+
+    /** Raw counter value (tests and diagnostics). */
+    unsigned counterValue(Addr pc) const;
+
+    void reset();
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    Params params_;
+    std::size_t mask_;
+    std::vector<SatCounter> table_;
+};
+
+} // namespace csim
+
+#endif // CSIM_PREDICT_CRITICALITY_PREDICTOR_HH

@@ -1,0 +1,124 @@
+#include "trace/trace.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+namespace {
+
+struct SrcRegs
+{
+    int n;
+    RegIndex s1;
+    RegIndex s2;
+};
+
+// Mirror Instruction::numSrcs() without materialising an Instruction.
+SrcRegs
+srcsOf(const TraceRecord &rec)
+{
+    switch (rec.op) {
+      case Opcode::Lui:
+      case Opcode::Jmp:
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return {0, zeroReg, zeroReg};
+      case Opcode::Addi:
+      case Opcode::Ld:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Itof:
+        return {1, rec.src1, zeroReg};
+      default:
+        return {2, rec.src1, rec.src2};
+    }
+}
+
+} // anonymous namespace
+
+void
+Trace::linkProducers()
+{
+    // Last dynamic writer of each architectural register.
+    std::array<InstId, numArchRegs> last_writer;
+    last_writer.fill(invalidInstId);
+
+    // Last store to each 8-byte word.
+    std::unordered_map<Addr, InstId> last_store;
+
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        TraceRecord &rec = records_[i];
+        rec.prod = {invalidInstId, invalidInstId, invalidInstId};
+
+        const SrcRegs srcs = srcsOf(rec);
+        if (srcs.n >= 1 && srcs.s1 != zeroReg)
+            rec.prod[srcSlot1] = last_writer[srcs.s1];
+        if (srcs.n >= 2 && srcs.s2 != zeroReg)
+            rec.prod[srcSlot2] = last_writer[srcs.s2];
+
+        if (rec.isLoad()) {
+            auto it = last_store.find(rec.memAddr >> 3);
+            if (it != last_store.end())
+                rec.prod[srcSlotMem] = it->second;
+        } else if (rec.isStore()) {
+            last_store[rec.memAddr >> 3] = static_cast<InstId>(i);
+        }
+
+        if (rec.hasDest())
+            last_writer[rec.dest] = static_cast<InstId>(i);
+    }
+}
+
+bool
+Trace::wellFormed() const
+{
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const TraceRecord &rec = records_[i];
+        if (rec.op >= Opcode::NumOpcodes)
+            return false;
+        if (rec.cls != opClass(rec.op))
+            return false;
+        if (rec.execLat == 0)
+            return false;
+        if (rec.isBranch != isBranch(rec.op) ||
+            rec.isCondBranch != isCondBranch(rec.op))
+            return false;
+        for (int slot = 0; slot < numSrcSlots; ++slot) {
+            const InstId p = rec.prod[slot];
+            if (p != invalidInstId && p >= i)
+                return false;
+        }
+    }
+    return true;
+}
+
+TraceStats
+Trace::stats() const
+{
+    TraceStats s;
+    s.instructions = records_.size();
+    for (const TraceRecord &rec : records_) {
+        if (rec.isBranch) {
+            ++s.branches;
+            if (rec.isCondBranch) {
+                ++s.condBranches;
+                if (rec.mispredicted)
+                    ++s.mispredicted;
+            }
+        }
+        if (rec.isLoad()) {
+            ++s.loads;
+            if (rec.l1Miss)
+                ++s.l1Misses;
+        }
+        if (rec.isStore())
+            ++s.stores;
+        if (isFpClass(rec.cls))
+            ++s.fpOps;
+    }
+    return s;
+}
+
+} // namespace csim

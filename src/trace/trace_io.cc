@@ -1,0 +1,148 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace csim {
+
+namespace {
+
+constexpr char magic[8] = {'c', 's', 'i', 'm', 't', 'r', 'c', '\0'};
+constexpr std::uint32_t version = 1;
+
+/** On-disk record layout (packed, little-endian host assumed). */
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t memAddr;
+    std::uint64_t prod[numSrcSlots];
+    std::uint8_t op;
+    std::uint8_t cls;
+    std::uint8_t dest;
+    std::uint8_t src1;
+    std::uint8_t src2;
+    std::uint8_t execLat;
+    std::uint8_t flags;
+    std::uint8_t pad = 0;
+};
+
+constexpr std::uint8_t flagBranch = 1;
+constexpr std::uint8_t flagCond = 2;
+constexpr std::uint8_t flagTaken = 4;
+constexpr std::uint8_t flagMispred = 8;
+constexpr std::uint8_t flagL1Miss = 16;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+} // anonymous namespace
+
+const char *
+traceIoStatusName(TraceIoStatus s)
+{
+    switch (s) {
+      case TraceIoStatus::Ok: return "ok";
+      case TraceIoStatus::CannotOpen: return "cannot open";
+      case TraceIoStatus::BadMagic: return "bad magic";
+      case TraceIoStatus::BadVersion: return "bad version";
+      case TraceIoStatus::Truncated: return "truncated";
+      default: return "unknown";
+    }
+}
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    FileHandle f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    if (std::fwrite(magic, sizeof(magic), 1, f.get()) != 1)
+        return false;
+    if (std::fwrite(&version, sizeof(version), 1, f.get()) != 1)
+        return false;
+    const std::uint64_t count = trace.size();
+    if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
+        return false;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &rec = trace[i];
+        DiskRecord d = {};
+        d.pc = rec.pc;
+        d.memAddr = rec.memAddr;
+        for (int s = 0; s < numSrcSlots; ++s)
+            d.prod[s] = rec.prod[s];
+        d.op = static_cast<std::uint8_t>(rec.op);
+        d.cls = static_cast<std::uint8_t>(rec.cls);
+        d.dest = rec.dest;
+        d.src1 = rec.src1;
+        d.src2 = rec.src2;
+        d.execLat = rec.execLat;
+        d.flags = static_cast<std::uint8_t>(
+            (rec.isBranch ? flagBranch : 0) |
+            (rec.isCondBranch ? flagCond : 0) |
+            (rec.taken ? flagTaken : 0) |
+            (rec.mispredicted ? flagMispred : 0) |
+            (rec.l1Miss ? flagL1Miss : 0));
+        if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+TraceIoStatus
+loadTrace(Trace &trace, const std::string &path)
+{
+    FileHandle f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return TraceIoStatus::CannotOpen;
+
+    char got_magic[sizeof(magic)];
+    if (std::fread(got_magic, sizeof(got_magic), 1, f.get()) != 1)
+        return TraceIoStatus::Truncated;
+    if (std::memcmp(got_magic, magic, sizeof(magic)) != 0)
+        return TraceIoStatus::BadMagic;
+
+    std::uint32_t got_version = 0;
+    if (std::fread(&got_version, sizeof(got_version), 1, f.get()) != 1)
+        return TraceIoStatus::Truncated;
+    if (got_version != version)
+        return TraceIoStatus::BadVersion;
+
+    std::uint64_t count = 0;
+    if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
+        return TraceIoStatus::Truncated;
+
+    Trace loaded;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DiskRecord d;
+        if (std::fread(&d, sizeof(d), 1, f.get()) != 1)
+            return TraceIoStatus::Truncated;
+        TraceRecord rec;
+        rec.pc = d.pc;
+        rec.memAddr = d.memAddr;
+        for (int s = 0; s < numSrcSlots; ++s)
+            rec.prod[s] = d.prod[s];
+        rec.op = static_cast<Opcode>(d.op);
+        rec.cls = static_cast<OpClass>(d.cls);
+        rec.dest = d.dest;
+        rec.src1 = d.src1;
+        rec.src2 = d.src2;
+        rec.execLat = d.execLat;
+        rec.isBranch = d.flags & flagBranch;
+        rec.isCondBranch = d.flags & flagCond;
+        rec.taken = d.flags & flagTaken;
+        rec.mispredicted = d.flags & flagMispred;
+        rec.l1Miss = d.flags & flagL1Miss;
+        loaded.append(rec);
+    }
+
+    trace = std::move(loaded);
+    return TraceIoStatus::Ok;
+}
+
+} // namespace csim

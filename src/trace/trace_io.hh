@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binary trace serialization.
+ *
+ * Lets users snapshot an annotated trace to disk and replay it later
+ * (or ship it to someone else) without re-running the emulator and the
+ * annotation passes — the moral equivalent of the trace files a
+ * SimpleScalar-era lab would keep on NFS.
+ *
+ * Format: a fixed header (magic, version, count) followed by packed
+ * little-endian records. The format is versioned; readers reject
+ * mismatches rather than misinterpret.
+ */
+
+#ifndef CSIM_TRACE_TRACE_IO_HH
+#define CSIM_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace csim {
+
+/** Result of a load attempt. */
+enum class TraceIoStatus
+{
+    Ok,
+    CannotOpen,
+    BadMagic,
+    BadVersion,
+    Truncated,
+};
+
+const char *traceIoStatusName(TraceIoStatus s);
+
+/**
+ * Write a trace (including annotations and producer links) to path.
+ * @return true on success.
+ */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Load a trace previously written by saveTrace.
+ * @param[out] trace Replaced on success; untouched otherwise.
+ */
+TraceIoStatus loadTrace(Trace &trace, const std::string &path);
+
+} // namespace csim
+
+#endif // CSIM_TRACE_TRACE_IO_HH

@@ -1,0 +1,180 @@
+#include "workloads/micro.hh"
+
+#include "common/rng.hh"
+#include "emu/emulator.hh"
+#include "isa/program.hh"
+#include "workloads/patterns.hh"
+
+namespace csim {
+
+namespace {
+const auto r = Program::r;
+} // anonymous namespace
+
+Trace
+buildMicroSerialChain(const WorkloadConfig &cfg)
+{
+    Program p;
+    Label loop = p.newLabel();
+    p.bind(loop);
+    // Unrolled body keeps the branch overhead negligible.
+    for (int i = 0; i < 32; ++i)
+        p.addi(r(1), r(1), 1);
+    p.jmp(loop);
+    p.halt();
+    p.finalize();
+
+    Emulator emu(p);
+    return emu.run(cfg.targetInstructions);
+}
+
+Trace
+buildMicroConvergent(const WorkloadConfig &cfg)
+{
+    Rng rng(cfg.seed * 0x33 + 1);
+    Program p;
+
+    const ArrayRegion tblA{0x100000, 512};
+    const ArrayRegion tblB{0x110000, 512};
+    const ArrayRegion tblC{0x120000, 512};
+    const ArrayRegion tblD{0x130000, 512};
+
+    Label loop = p.newLabel();
+    Label skip = p.newLabel();
+    p.bind(loop);
+    p.addi(r(1), r(1), 1);
+    p.and_(r(10), r(1), r(6));      // r6 = mask
+    p.sll(r(10), r(10), r(7));      // r7 = 3
+
+    // chain 1: ld; ld              (nodes 1,3,5 of Fig. 3)
+    p.add(r(11), r(10), r(2));
+    p.ld(r(12), r(11), 0);
+    p.sll(r(13), r(12), r(7));
+    p.add(r(13), r(13), r(3));
+    p.ld(r(14), r(13), 0);
+
+    // chain 2: ld; ld              (nodes 2,4,6)
+    p.add(r(15), r(10), r(4));
+    p.ld(r(16), r(15), 0);
+    p.sll(r(17), r(16), r(7));
+    p.add(r(17), r(17), r(5));
+    p.ld(r(18), r(17), 0);
+
+    p.xor_(r(19), r(14), r(18));    // node 7
+    p.beq(r(19), skip);             // node 8 (br*)
+    p.addi(r(20), r(20), 1);
+    p.bind(skip);
+    p.jmp(loop);
+    p.halt();
+    p.finalize();
+
+    Emulator emu(p);
+    emu.setReg(r(2), static_cast<std::int64_t>(tblA.base));
+    emu.setReg(r(3), static_cast<std::int64_t>(tblB.base));
+    emu.setReg(r(4), static_cast<std::int64_t>(tblC.base));
+    emu.setReg(r(5), static_cast<std::int64_t>(tblD.base));
+    emu.setReg(r(6), static_cast<std::int64_t>(tblA.words - 1));
+    emu.setReg(r(7), 3);
+    fillRandomIndices(emu, tblA, rng, tblB.words);
+    fillRandomIndices(emu, tblB, rng, 8);
+    fillRandomIndices(emu, tblC, rng, tblD.words);
+    fillRandomIndices(emu, tblD, rng, 8);
+    return emu.run(cfg.targetInstructions);
+}
+
+Trace
+buildMicroSpineRibs(const WorkloadConfig &cfg)
+{
+    Rng rng(cfg.seed * 0x35 + 3);
+    Program p;
+    const ArrayRegion heap{0x100000, 1024};
+
+    Label loop = p.newLabel();
+    Label skip = p.newLabel();
+    p.bind(loop);
+    // spine: 2-deep loop-carried chain (A-B-C-D of Fig. 10)
+    p.add(r(1), r(1), r(6));
+    p.and_(r(1), r(1), r(4));
+    // rib: load and a data-dependent branch off the spine
+    p.sll(r(10), r(1), r(7));
+    p.add(r(10), r(10), r(2));
+    p.ld(r(11), r(10), 0);
+    p.cmplt(r(12), r(11), r(5));
+    p.bne(r(12), skip);             // the mispredicting rib branch
+    p.add(r(13), r(11), r(6));
+    p.st(r(13), r(10), 0);
+    p.bind(skip);
+    p.jmp(loop);
+    p.halt();
+    p.finalize();
+
+    Emulator emu(p);
+    emu.setReg(r(2), static_cast<std::int64_t>(heap.base));
+    emu.setReg(r(4), static_cast<std::int64_t>(heap.words - 1));
+    emu.setReg(r(5), 130);
+    emu.setReg(r(6), 1);
+    emu.setReg(r(7), 3);
+    fillRandom(emu, heap, rng, 0, 1000);
+    return emu.run(cfg.targetInstructions);
+}
+
+Trace
+buildMicroEarlyExit(const WorkloadConfig &cfg)
+{
+    Rng rng(cfg.seed * 0x37 + 5);
+    Program p;
+    const ArrayRegion arr{0x100000, 64};
+
+    Label outer = p.newLabel();
+    Label scan = p.newLabel();
+    Label found = p.newLabel();
+
+    p.bind(outer);
+    p.addi(r(4), r(31), 0);
+    p.addi(r(2), r(6), 0);
+    p.add(r(0), r(0), r(5));
+    p.and_(r(0), r(0), r(7));
+
+    p.bind(scan);
+    p.addi(r(4), r(4), 1);          // addl
+    p.ld(r(9), r(2), 0);            // ldl
+    p.cmple(r(3), r(4), r(5));      // cmple
+    p.addi(r(2), r(2), 8);          // lda: the critical consumer,
+                                    // last in fetch order (Fig. 13)
+    p.cmpeq(r(8), r(9), r(0));      // cmpeq
+    p.bne(r(8), found);             // bne (early exit)
+    p.bne(r(3), scan);              // bne (loop)
+
+    p.bind(found);
+    p.jmp(outer);
+    p.halt();
+    p.finalize();
+
+    Emulator emu(p);
+    emu.setReg(r(5), 64);
+    emu.setReg(r(6), static_cast<std::int64_t>(arr.base));
+    emu.setReg(r(7), 127);
+    fillRandomIndices(emu, arr, rng, 128);
+    return emu.run(cfg.targetInstructions);
+}
+
+Trace
+buildMicroWideIlp(const WorkloadConfig &cfg, unsigned chains)
+{
+    CSIM_ASSERT(chains >= 1 && chains <= 24);
+    Program p;
+    Label loop = p.newLabel();
+    p.bind(loop);
+    for (int round = 0; round < 4; ++round)
+        for (unsigned c = 0; c < chains; ++c)
+            p.addi(r(1 + static_cast<int>(c)),
+                   r(1 + static_cast<int>(c)), 1);
+    p.jmp(loop);
+    p.halt();
+    p.finalize();
+
+    Emulator emu(p);
+    return emu.run(cfg.targetInstructions);
+}
+
+} // namespace csim

@@ -1,0 +1,47 @@
+#include "workloads/patterns.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+void
+fillRandom(Emulator &emu, const ArrayRegion &region, Rng &rng,
+           std::int64_t lo, std::int64_t hi)
+{
+    CSIM_ASSERT(hi >= lo);
+    for (std::uint64_t i = 0; i < region.words; ++i)
+        emu.poke(region.wordAddr(i), rng.range(lo, hi));
+}
+
+void
+fillPointerCycle(Emulator &emu, const ArrayRegion &region, Rng &rng)
+{
+    CSIM_ASSERT(region.words >= 2);
+    // Sattolo's algorithm: a uniformly random single-cycle permutation.
+    std::vector<std::uint64_t> perm(region.words);
+    for (std::uint64_t i = 0; i < region.words; ++i)
+        perm[i] = i;
+    for (std::uint64_t i = region.words - 1; i >= 1; --i) {
+        const std::uint64_t j = rng.below(i);
+        std::swap(perm[i], perm[j]);
+    }
+    for (std::uint64_t i = 0; i < region.words; ++i) {
+        emu.poke(region.wordAddr(i),
+                 static_cast<std::int64_t>(region.wordAddr(perm[i])));
+    }
+}
+
+void
+fillRandomIndices(Emulator &emu, const ArrayRegion &region, Rng &rng,
+                  std::uint64_t modulo)
+{
+    CSIM_ASSERT(modulo > 0);
+    for (std::uint64_t i = 0; i < region.words; ++i) {
+        emu.poke(region.wordAddr(i),
+                 static_cast<std::int64_t>(rng.below(modulo)));
+    }
+}
+
+} // namespace csim

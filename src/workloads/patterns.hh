@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for building workload proxies: seeded memory
+ * initialisation patterns used by several benchmarks.
+ */
+
+#ifndef CSIM_WORKLOADS_PATTERNS_HH
+#define CSIM_WORKLOADS_PATTERNS_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "emu/emulator.hh"
+
+namespace csim {
+
+/** A contiguous region of 8-byte words in simulated memory. */
+struct ArrayRegion
+{
+    Addr base;
+    std::uint64_t words;
+
+    Addr wordAddr(std::uint64_t i) const { return base + 8 * i; }
+};
+
+/** Fill a region with uniform random values in [lo, hi]. */
+void fillRandom(Emulator &emu, const ArrayRegion &region, Rng &rng,
+                std::int64_t lo, std::int64_t hi);
+
+/**
+ * Fill a region with a random single-cycle permutation of its own word
+ * *addresses*: region[i] holds the address of the next element. Used
+ * for pointer-chasing proxies (mcf, parser); a single cycle guarantees
+ * the chase visits every element.
+ */
+void fillPointerCycle(Emulator &emu, const ArrayRegion &region,
+                      Rng &rng);
+
+/**
+ * Fill a region with random word *indices* into [0, modulo). Used for
+ * data-dependent indexing (hash chains, permutation tables).
+ */
+void fillRandomIndices(Emulator &emu, const ArrayRegion &region,
+                       Rng &rng, std::uint64_t modulo);
+
+} // namespace csim
+
+#endif // CSIM_WORKLOADS_PATTERNS_HH

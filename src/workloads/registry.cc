@@ -1,0 +1,72 @@
+#include "workloads/registry.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+namespace {
+
+struct Entry
+{
+    const char *name;
+    WorkloadBuilder builder;
+};
+
+constexpr Entry entries[] = {
+    {"bzip2", buildBzip2},
+    {"crafty", buildCrafty},
+    {"eon", buildEon},
+    {"gap", buildGap},
+    {"gcc", buildGcc},
+    {"gzip", buildGzip},
+    {"mcf", buildMcf},
+    {"parser", buildParser},
+    {"perl", buildPerl},
+    {"twolf", buildTwolf},
+    {"vortex", buildVortex},
+    {"vpr", buildVpr},
+};
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Entry &e : entries)
+            v.emplace_back(e.name);
+        return v;
+    }();
+    return names;
+}
+
+WorkloadBuilder
+workloadBuilder(const std::string &name)
+{
+    for (const Entry &e : entries)
+        if (name == e.name)
+            return e.builder;
+    CSIM_FATAL("unknown workload name");
+}
+
+Trace
+buildWorkloadTrace(const std::string &name, const WorkloadConfig &cfg)
+{
+    return workloadBuilder(name)(cfg);
+}
+
+Trace
+buildAnnotatedTrace(const std::string &name, const WorkloadConfig &cfg,
+                    const MemoryModelConfig &mem, unsigned gshare_bits)
+{
+    Trace trace = buildWorkloadTrace(name, cfg);
+    trace.linkProducers();
+    annotateBranches(trace, gshare_bits);
+    annotateMemory(trace, mem);
+    return trace;
+}
+
+} // namespace csim

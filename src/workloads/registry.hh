@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Workload registry: name -> builder, plus the standard preparation
+ * pipeline (producer linking, branch annotation, cache annotation)
+ * every consumer of a trace needs.
+ */
+
+#ifndef CSIM_WORKLOADS_REGISTRY_HH
+#define CSIM_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "frontend/branch_annotator.hh"
+#include "mem/latency_annotator.hh"
+#include "workloads/workload.hh"
+
+namespace csim {
+
+/** The 12 SPECint 2000 proxies, in the paper's plotting order. */
+const std::vector<std::string> &workloadNames();
+
+/** Builder for a named workload; fatals on an unknown name. */
+WorkloadBuilder workloadBuilder(const std::string &name);
+
+/** Build the raw (unannotated) trace for a named workload. */
+Trace buildWorkloadTrace(const std::string &name,
+                         const WorkloadConfig &cfg);
+
+/**
+ * Build a simulation-ready trace: emulate, link producers, annotate
+ * branch mispredictions (gshare) and load latencies (L1 model).
+ */
+Trace buildAnnotatedTrace(const std::string &name,
+                          const WorkloadConfig &cfg,
+                          const MemoryModelConfig &mem =
+                              MemoryModelConfig{},
+                          unsigned gshare_bits = 16);
+
+} // namespace csim
+
+#endif // CSIM_WORKLOADS_REGISTRY_HH

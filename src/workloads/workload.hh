@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Workload interface: each SPECint 2000 proxy is a function that builds
+ * a Program in the mini-ISA, initialises simulated memory with seeded
+ * random data, executes functionally and returns the raw dynamic trace.
+ *
+ * The proxies are not the SPEC sources; they are small programs that
+ * reproduce the dataflow motifs the paper attributes to each benchmark
+ * (convergent dataflow, spine-and-ribs, hammocks, divergent trees,
+ * pointer chasing, hash chains). See DESIGN.md for the substitution
+ * argument.
+ */
+
+#ifndef CSIM_WORKLOADS_WORKLOAD_HH
+#define CSIM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace csim {
+
+struct WorkloadConfig
+{
+    /** Dynamic instructions to trace (the emulator stops here). */
+    std::uint64_t targetInstructions = 100000;
+    /** Seed for the workload's data (the paper averages 3 samples). */
+    std::uint64_t seed = 1;
+};
+
+using WorkloadBuilder = Trace (*)(const WorkloadConfig &);
+
+// One builder per SPECint 2000 benchmark proxy.
+Trace buildBzip2(const WorkloadConfig &cfg);
+Trace buildCrafty(const WorkloadConfig &cfg);
+Trace buildEon(const WorkloadConfig &cfg);
+Trace buildGap(const WorkloadConfig &cfg);
+Trace buildGcc(const WorkloadConfig &cfg);
+Trace buildGzip(const WorkloadConfig &cfg);
+Trace buildMcf(const WorkloadConfig &cfg);
+Trace buildParser(const WorkloadConfig &cfg);
+Trace buildPerl(const WorkloadConfig &cfg);
+Trace buildTwolf(const WorkloadConfig &cfg);
+Trace buildVortex(const WorkloadConfig &cfg);
+Trace buildVpr(const WorkloadConfig &cfg);
+
+} // namespace csim
+
+#endif // CSIM_WORKLOADS_WORKLOAD_HH

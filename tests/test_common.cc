@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for src/common: saturating counters, probabilistic
+ * counters, the RNG and the statistics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/prob_counter.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+
+namespace csim {
+namespace {
+
+// ---------------------------------------------------------------- //
+// SatCounter
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2);
+    for (int i = 0; i < 10; ++i)
+        c.train(true);
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturatedHigh());
+    EXPECT_FALSE(c.saturatedLow());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 1, 1, 3);
+    for (int i = 0; i < 10; ++i)
+        c.train(false);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_TRUE(c.saturatedLow());
+}
+
+TEST(SatCounter, AsymmetricStepsFieldsShape)
+{
+    // The Fields criticality counter: 6 bits, +8/-1, threshold 8.
+    SatCounter c(6, 8, 1, 0);
+    EXPECT_FALSE(c.atLeast(8));
+    c.train(true);
+    EXPECT_EQ(c.value(), 8u);
+    EXPECT_TRUE(c.atLeast(8));
+    // Seven non-critical instances keep the prediction alive...
+    for (int i = 0; i < 7; ++i)
+        c.train(false);
+    EXPECT_TRUE(c.atLeast(8) || c.value() == 1u);
+    // ...so 1-in-8 critical is enough to stay classified critical.
+    for (int round = 0; round < 20; ++round) {
+        c.train(true);
+        for (int i = 0; i < 7; ++i)
+            c.train(false);
+    }
+    EXPECT_TRUE(c.atLeast(1));
+}
+
+TEST(SatCounter, ClampsAtMax)
+{
+    SatCounter c(3, 5, 1, 6);
+    c.train(true);
+    EXPECT_EQ(c.value(), 7u);  // 6 + 5 clamps to 2^3 - 1
+    c.train(false);
+    EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(SatCounter, Reset)
+{
+    SatCounter c(4);
+    c.train(true);
+    c.reset(9);
+    EXPECT_EQ(c.value(), 9u);
+}
+
+class SatCounterWidths : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SatCounterWidths, NeverExceedsRange)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits, 3, 2, 0);
+    Rng rng(bits * 977 + 1);
+    for (int i = 0; i < 5000; ++i) {
+        c.train(rng.chance(1, 2));
+        ASSERT_LE(c.value(), c.maxValue());
+    }
+    EXPECT_EQ(c.maxValue(), (1u << bits) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SatCounterWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u,
+                                           12u, 16u));
+
+// ---------------------------------------------------------------- //
+// ProbCounter
+
+class ProbCounterFreq : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ProbCounterFreq, EstimateConvergesToFrequency)
+{
+    const double f = GetParam();
+    ProbCounter c(16, 0);
+    Rng rng(static_cast<std::uint64_t>(f * 1000) + 3);
+    Rng data(42);
+
+    // Train on a long stream, then average the estimate over the
+    // tail: the stationary distribution is binomial, so the mean
+    // (not any single sample) tracks f.
+    double sum = 0.0;
+    int samples = 0;
+    for (int i = 0; i < 60000; ++i) {
+        c.train(data.uniform() < f, rng);
+        if (i >= 20000) {
+            sum += c.estimate();
+            ++samples;
+        }
+    }
+    const double mean_est = sum / samples;
+    EXPECT_NEAR(mean_est, f, 0.08) << "frequency " << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, ProbCounterFreq,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 1.0));
+
+TEST(ProbCounter, StaysInRange)
+{
+    ProbCounter c(16, 15);
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        c.train(rng.chance(1, 3), rng);
+        ASSERT_LT(c.level(), 16u);
+    }
+}
+
+TEST(ProbCounter, AllTrueSaturates)
+{
+    ProbCounter c(16, 0);
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i)
+        c.train(true, rng);
+    EXPECT_EQ(c.level(), 15u);
+    EXPECT_DOUBLE_EQ(c.estimate(), 1.0);
+}
+
+TEST(ProbCounter, AllFalseStaysZero)
+{
+    ProbCounter c(16, 0);
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i)
+        c.train(false, rng);
+    EXPECT_EQ(c.level(), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::int64_t v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 30000; ++i)
+        if (rng.chance(1, 4))
+            ++hits;
+    EXPECT_NEAR(hits / 30000.0, 0.25, 0.02);
+}
+
+// ---------------------------------------------------------------- //
+// Stats
+
+TEST(RunningStat, Basics)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(10, 0.0, 1.0);
+    h.add(0.05);          // bucket 0
+    h.add(0.95);          // bucket 9
+    h.add(-5.0);          // clamps to 0
+    h.add(99.0);          // clamps to 9
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(4, 0.0, 4.0);
+    h.add(1.5, 10);
+    EXPECT_EQ(h.bucket(1), 10u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(4, 0.0, 4.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(3), 3.0);
+}
+
+TEST(TextTable, AlignsAndSeparates)
+{
+    TextTable t({"a", "bbbb"});
+    t.addRow({"xxx", "y"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    EXPECT_NE(s.find("xxx"), std::string::npos);
+}
+
+TEST(Format, Doubles)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatPercent(0.125, 1), "12.5%");
+}
+
+} // anonymous namespace
+} // namespace csim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the literature-baseline steering policies: block steering
+ * and adaptive active-cluster steering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/timing_sim.hh"
+#include "emu/emulator.hh"
+#include "frontend/branch_annotator.hh"
+#include "mem/latency_annotator.hh"
+#include "policy/extra_steering.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "sim_checks.hh"
+#include "workloads/registry.hh"
+
+namespace csim {
+namespace {
+
+const auto r = Program::r;
+
+Trace
+prepare(const Program &p)
+{
+    Emulator emu(p);
+    Trace t = emu.run(100000);
+    t.linkProducers();
+    annotateBranches(t);
+    annotateMemory(t);
+    return t;
+}
+
+TEST(BlockSteering, KeepsBasicBlocksTogether)
+{
+    // Three blocks separated by branches.
+    Program p;
+    Label l1 = p.newLabel();
+    Label l2 = p.newLabel();
+    for (int i = 0; i < 4; ++i)
+        p.addi(r(1), r(1), 1);
+    p.beq(r(31), l1);           // always taken (r31 == 0)
+    p.bind(l1);
+    for (int i = 0; i < 4; ++i)
+        p.addi(r(2), r(2), 1);
+    p.beq(r(31), l2);
+    p.bind(l2);
+    for (int i = 0; i < 4; ++i)
+        p.addi(r(3), r(3), 1);
+    p.halt();
+    p.finalize();
+    Trace t = prepare(p);
+
+    BlockSteering block;
+    AgeScheduling age;
+    MachineConfig mc = MachineConfig::clustered(4);
+    SimResult res = TimingSim(mc, t, block, age).run();
+    validateTiming(t, res, mc);
+
+    // Instructions within each block share a cluster...
+    for (int base : {0, 5, 10}) {
+        for (int i = 1; i < 4; ++i) {
+            EXPECT_EQ(res.timing[base + i].cluster,
+                      res.timing[base].cluster);
+        }
+    }
+    // ...and consecutive blocks rotate.
+    EXPECT_NE(res.timing[0].cluster, res.timing[5].cluster);
+}
+
+TEST(BlockSteering, ValidOnRealWorkloads)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 6000;
+    cfg.seed = 2;
+    for (const char *wl : {"vpr", "perl"}) {
+        SCOPED_TRACE(wl);
+        Trace t = buildAnnotatedTrace(wl, cfg);
+        BlockSteering block;
+        AgeScheduling age;
+        MachineConfig mc = MachineConfig::clustered(8);
+        SimResult res = TimingSim(mc, t, block, age).run();
+        validateTiming(t, res, mc);
+    }
+}
+
+TEST(AdaptiveSteering, ValidAndTerminates)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 12000;
+    cfg.seed = 3;
+    Trace t = buildAnnotatedTrace("gzip", cfg);
+
+    AdaptiveClusterSteering adaptive(1024, 4);
+    AgeScheduling age;
+    MachineConfig mc = MachineConfig::clustered(8);
+    SimResult res = TimingSim(mc, t, adaptive, age).run();
+    validateTiming(t, res, mc);
+}
+
+TEST(AdaptiveSteering, SerialCodeDoesNotSpreadAcrossAllClusters)
+{
+    // A pure dependence chain: the adaptive policy should learn that
+    // one active cluster is as good as eight — and collocating the
+    // chain avoids the forwarding that fixed load-balancing incurs.
+    Program p;
+    for (int i = 0; i < 6000; ++i)
+        p.addi(r(1), r(1), 1);
+    p.halt();
+    p.finalize();
+    Trace t = prepare(p);
+
+    AdaptiveClusterSteering adaptive(512, 8);
+    AgeScheduling age;
+    MachineConfig mc = MachineConfig::clustered(8);
+    SimResult adaptive_res = TimingSim(mc, t, adaptive, age).run();
+
+    ModNSteering modn;
+    SimResult modn_res = TimingSim(mc, t, modn, age).run();
+
+    // Mod-N alternates every link across clusters (2 extra cycles per
+    // link); the adaptive policy should do far better.
+    EXPECT_LT(adaptive_res.cycles, modn_res.cycles * 2 / 3);
+    // And it should approach the dataflow bound (~1 cycle per link).
+    EXPECT_LT(adaptive_res.cpi(), 1.5);
+}
+
+TEST(AdaptiveSteering, ExposesActiveClusterCount)
+{
+    AdaptiveClusterSteering adaptive(1024, 4);
+    EXPECT_GE(adaptive.activeClusters(), 1u);
+}
+
+} // anonymous namespace
+} // namespace csim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the front-end models: the gshare predictor and the
+ * branch annotation pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "emu/emulator.hh"
+#include "frontend/branch_annotator.hh"
+#include "frontend/gshare.hh"
+
+namespace csim {
+namespace {
+
+const auto r = Program::r;
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    GsharePredictor pred(12);
+    const Addr pc = 0x1000;
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i)
+        if (pred.mispredicts(pc, true))
+            ++wrong;
+    // Warmup only: each new history value hits a fresh PHT entry
+    // until the all-taken history saturates (one per history bit).
+    EXPECT_LE(wrong, 14);
+    // Steady state is perfect.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(pred.mispredicts(pc, true));
+}
+
+TEST(Gshare, LearnsAlternatingPatternViaHistory)
+{
+    GsharePredictor pred(12);
+    const Addr pc = 0x2000;
+    int wrong_late = 0;
+    for (int i = 0; i < 2000; ++i) {
+        bool taken = (i & 1) != 0;
+        bool m = pred.mispredicts(pc, taken);
+        if (i >= 1000 && m)
+            ++wrong_late;
+    }
+    // Global history disambiguates the alternation perfectly.
+    EXPECT_EQ(wrong_late, 0);
+}
+
+TEST(Gshare, LearnsShortRepeatingPattern)
+{
+    GsharePredictor pred(16);
+    const Addr pc = 0x3000;
+    // Period-5 pattern: TTTTN, like a 5-iteration inner loop.
+    int wrong_late = 0;
+    for (int i = 0; i < 5000; ++i) {
+        bool taken = (i % 5) != 4;
+        bool m = pred.mispredicts(pc, taken);
+        if (i >= 2500 && m)
+            ++wrong_late;
+    }
+    EXPECT_LT(wrong_late, 25);  // < 1% once warmed up
+}
+
+TEST(Gshare, RandomBranchesMispredictHalfTheTime)
+{
+    GsharePredictor pred(14);
+    Rng rng(3);
+    const Addr pc = 0x4000;
+    int wrong = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (pred.mispredicts(pc, rng.chance(1, 2)))
+            ++wrong;
+    EXPECT_NEAR(static_cast<double>(wrong) / n, 0.5, 0.05);
+}
+
+TEST(Gshare, BiasedBranchMispredictsAtBiasRate)
+{
+    GsharePredictor pred(14);
+    Rng rng(9);
+    const Addr pc = 0x5000;
+    int wrong = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (pred.mispredicts(pc, rng.chance(1, 10)))
+            ++wrong;
+    // Random 10%-taken branch: mispredict rate ~ the minority rate.
+    EXPECT_NEAR(static_cast<double>(wrong) / n, 0.1, 0.05);
+}
+
+TEST(Gshare, HistoryShiftsOutcomes)
+{
+    GsharePredictor pred(8);
+    EXPECT_EQ(pred.history(), 0u);
+    pred.update(0x100, true);
+    EXPECT_EQ(pred.history(), 1u);
+    pred.update(0x100, false);
+    EXPECT_EQ(pred.history(), 2u);
+    pred.update(0x100, true);
+    EXPECT_EQ(pred.history(), 5u);
+}
+
+TEST(BranchAnnotator, MarksOnlyConditionals)
+{
+    Program p;
+    Label loop = p.newLabel();
+    p.lui(r(1), 50);
+    p.bind(loop);
+    p.addi(r(1), r(1), -1);
+    p.bne(r(1), loop);
+    p.halt();
+    p.finalize();
+
+    Emulator emu(p);
+    Trace t = emu.run(1000);
+    BranchAnnotateResult res = annotateBranches(t);
+
+    TraceStats s = t.stats();
+    EXPECT_EQ(res.condBranches, s.condBranches);
+    EXPECT_EQ(res.mispredictions, s.mispredicted);
+    // Non-branches never marked.
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].isCondBranch) {
+            EXPECT_FALSE(t[i].mispredicted);
+        }
+    }
+}
+
+TEST(BranchAnnotator, CountedLoopEndsMispredictRarely)
+{
+    // A long countdown loop: the closing branch is taken every time
+    // except the last; gshare should be nearly perfect.
+    Program p;
+    Label loop = p.newLabel();
+    p.lui(r(1), 4000);
+    p.bind(loop);
+    p.addi(r(1), r(1), -1);
+    p.bne(r(1), loop);
+    p.halt();
+    p.finalize();
+
+    Emulator emu(p);
+    Trace t = emu.run(100000);
+    BranchAnnotateResult res = annotateBranches(t);
+    // Warmup (one fresh PHT entry per history bit) plus the final
+    // fall-through.
+    EXPECT_LE(res.mispredictions, 20u);
+    EXPECT_LT(static_cast<double>(res.mispredictions) /
+                  static_cast<double>(res.condBranches),
+              0.01);
+}
+
+} // anonymous namespace
+} // namespace csim

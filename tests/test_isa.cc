@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for src/isa: opcode metadata, the instruction format and
+ * the Program builder (labels, fixups, disassembly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/program.hh"
+
+namespace csim {
+namespace {
+
+TEST(Opcode, ClassesMatchPorts)
+{
+    EXPECT_EQ(opClass(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClass(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opClass(Opcode::Ld), OpClass::Load);
+    EXPECT_EQ(opClass(Opcode::St), OpClass::Store);
+    EXPECT_EQ(opClass(Opcode::Fadd), OpClass::FpAlu);
+    EXPECT_EQ(opClass(Opcode::Fdiv), OpClass::FpDiv);
+    EXPECT_EQ(opClass(Opcode::Beq), OpClass::IntAlu);
+}
+
+TEST(Opcode, Alpha21264Latencies)
+{
+    EXPECT_EQ(opLatency(Opcode::Add), 1u);
+    EXPECT_EQ(opLatency(Opcode::Mul), 7u);
+    EXPECT_EQ(opLatency(Opcode::Ld), 3u);   // load-to-use
+    EXPECT_EQ(opLatency(Opcode::Fadd), 4u);
+    EXPECT_EQ(opLatency(Opcode::Fdiv), 12u);
+    EXPECT_EQ(opLatency(Opcode::Beq), 1u);
+}
+
+TEST(Opcode, BranchPredicates)
+{
+    EXPECT_TRUE(isBranch(Opcode::Beq));
+    EXPECT_TRUE(isBranch(Opcode::Bne));
+    EXPECT_TRUE(isBranch(Opcode::Jmp));
+    EXPECT_FALSE(isBranch(Opcode::Add));
+    EXPECT_TRUE(isCondBranch(Opcode::Beq));
+    EXPECT_FALSE(isCondBranch(Opcode::Jmp));
+}
+
+TEST(Opcode, DestWriting)
+{
+    EXPECT_TRUE(writesDest(Opcode::Add));
+    EXPECT_TRUE(writesDest(Opcode::Ld));
+    EXPECT_FALSE(writesDest(Opcode::St));
+    EXPECT_FALSE(writesDest(Opcode::Beq));
+    EXPECT_FALSE(writesDest(Opcode::Nop));
+}
+
+TEST(Opcode, PortClassHelpers)
+{
+    EXPECT_TRUE(isIntClass(OpClass::IntAlu));
+    EXPECT_TRUE(isIntClass(OpClass::IntMul));
+    EXPECT_TRUE(isFpClass(OpClass::FpAlu));
+    EXPECT_TRUE(isFpClass(OpClass::FpDiv));
+    EXPECT_TRUE(isMemClass(OpClass::Load));
+    EXPECT_TRUE(isMemClass(OpClass::Store));
+    EXPECT_FALSE(isMemClass(OpClass::IntAlu));
+}
+
+TEST(Opcode, NamesExist)
+{
+    for (int op = 0;
+         op < static_cast<int>(Opcode::NumOpcodes); ++op) {
+        EXPECT_FALSE(opName(static_cast<Opcode>(op)).empty());
+    }
+}
+
+TEST(Instruction, SourceCounts)
+{
+    Instruction add{Opcode::Add, 1, 2, 3, 0};
+    EXPECT_EQ(add.numSrcs(), 2);
+    Instruction addi{Opcode::Addi, 1, 2, zeroReg, 5};
+    EXPECT_EQ(addi.numSrcs(), 1);
+    Instruction lui{Opcode::Lui, 1, zeroReg, zeroReg, 5};
+    EXPECT_EQ(lui.numSrcs(), 0);
+    Instruction st{Opcode::St, zeroReg, 1, 2, 0};
+    EXPECT_EQ(st.numSrcs(), 2);
+}
+
+TEST(Instruction, ZeroRegHasNoDest)
+{
+    Instruction to_zero{Opcode::Add, zeroReg, 1, 2, 0};
+    EXPECT_FALSE(to_zero.hasDest());
+    Instruction normal{Opcode::Add, 5, 1, 2, 0};
+    EXPECT_TRUE(normal.hasDest());
+}
+
+TEST(Program, RegisterHelpers)
+{
+    EXPECT_EQ(Program::r(0), 0);
+    EXPECT_EQ(Program::r(31), 31);
+    EXPECT_EQ(Program::f(0), numIntRegs);
+    EXPECT_EQ(Program::f(5), numIntRegs + 5);
+}
+
+TEST(Program, BuildsAndFinalizes)
+{
+    Program p;
+    Label top = p.newLabel();
+    p.bind(top);
+    p.add(Program::r(1), Program::r(2), Program::r(3));
+    p.bne(Program::r(1), top);
+    p.halt();
+    p.finalize();
+
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.at(1).op, Opcode::Bne);
+    EXPECT_EQ(p.at(1).imm, 0);  // patched to instruction index 0
+    EXPECT_TRUE(p.finalized());
+}
+
+TEST(Program, ForwardLabel)
+{
+    Program p;
+    Label skip = p.newLabel();
+    p.beq(Program::r(1), skip);
+    p.addi(Program::r(2), Program::r(2), 1);
+    p.bind(skip);
+    p.halt();
+    p.finalize();
+    EXPECT_EQ(p.at(0).imm, 2);
+}
+
+TEST(Program, DisassemblyMentionsOpsAndRegs)
+{
+    Program p;
+    p.ld(Program::r(4), Program::r(2), 16);
+    p.fadd(Program::f(1), Program::f(2), Program::f(3));
+    p.halt();
+    p.finalize();
+    const std::string d = p.disassemble();
+    EXPECT_NE(d.find("ld r4, 16(r2)"), std::string::npos);
+    EXPECT_NE(d.find("fadd f1, f2, f3"), std::string::npos);
+}
+
+TEST(ProgramDeath, ModifyAfterFinalizePanics)
+{
+    Program p;
+    p.halt();
+    p.finalize();
+    EXPECT_DEATH(p.nop(), "finalize");
+}
+
+TEST(ProgramDeath, UnboundLabelFatals)
+{
+    Program p;
+    Label l = p.newLabel();
+    p.jmp(l);
+    EXPECT_EXIT(p.finalize(), ::testing::ExitedWithCode(1),
+                "unbound label");
+}
+
+} // anonymous namespace
+} // namespace csim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the paper-example micro-kernels: each must have exactly
+ * the dataflow structure the corresponding figure draws.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/timing_sim.hh"
+#include "frontend/branch_annotator.hh"
+#include "mem/latency_annotator.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "workloads/micro.hh"
+
+namespace csim {
+namespace {
+
+Trace
+annotate(Trace t)
+{
+    t.linkProducers();
+    annotateBranches(t);
+    annotateMemory(t);
+    return t;
+}
+
+WorkloadConfig
+cfgOf(std::uint64_t n)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = n;
+    cfg.seed = 1;
+    return cfg;
+}
+
+TEST(MicroKernels, SerialChainHasIlpOne)
+{
+    Trace t = annotate(buildMicroSerialChain(cfgOf(5000)));
+    // Essentially every instruction depends on its predecessor.
+    std::uint64_t chained = 0, adds = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t[i].op != Opcode::Addi)
+            continue;
+        ++adds;
+        if (t[i].prod[srcSlot1] != invalidInstId)
+            ++chained;
+    }
+    // Every add from index 1 on consumes the previous link.
+    EXPECT_GT(adds, 4000u);
+    EXPECT_EQ(chained, adds);
+
+    // And the monolithic machine runs it at ~1 CPI.
+    UnifiedSteering steer(UnifiedSteeringOptions{}, nullptr, nullptr);
+    AgeScheduling age;
+    SimResult res = TimingSim(MachineConfig::monolithic(), t, steer,
+                              age).run();
+    EXPECT_GT(res.cpi(), 0.9);
+    EXPECT_LT(res.cpi(), 1.1);
+}
+
+TEST(MicroKernels, ConvergentHasDyadicJoin)
+{
+    Trace t = annotate(buildMicroConvergent(cfgOf(5000)));
+    // Find xor instructions: both operands must be loads (the two
+    // chains of Fig. 3).
+    std::uint64_t joins = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].op != Opcode::Xor)
+            continue;
+        const InstId a = t[i].prod[srcSlot1];
+        const InstId b = t[i].prod[srcSlot2];
+        ASSERT_NE(a, invalidInstId);
+        ASSERT_NE(b, invalidInstId);
+        EXPECT_TRUE(t[a].isLoad());
+        EXPECT_TRUE(t[b].isLoad());
+        ++joins;
+    }
+    EXPECT_GT(joins, 200u);
+}
+
+TEST(MicroKernels, SpineRibsHasLoopCarriedSpine)
+{
+    Trace t = annotate(buildMicroSpineRibs(cfgOf(5000)));
+    // The `and` spine op feeds the next iteration's `add` spine op.
+    std::uint64_t spine_links = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].op != Opcode::Add || !t[i].hasDest())
+            continue;
+        const InstId p = t[i].prod[srcSlot1];
+        if (p != invalidInstId && t[p].op == Opcode::And)
+            ++spine_links;
+    }
+    EXPECT_GT(spine_links, 300u);
+    EXPECT_GT(t.stats().mispredictRate(), 0.03);
+}
+
+TEST(MicroKernels, EarlyExitCriticalConsumerIsLast)
+{
+    Trace t = annotate(buildMicroEarlyExit(cfgOf(5000)));
+    // The cursor register's value has >= 2 consumers and the
+    // self-update comes after the load in fetch order.
+    std::uint64_t checked = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // Destructive self-updates (dest == src) are the loop-carried
+        // candidates; the cursor is the one whose value a load read
+        // earlier in the iteration.
+        if (t[i].op != Opcode::Addi || t[i].dest != t[i].src1)
+            continue;
+        const InstId p = t[i].prod[srcSlot1];
+        if (p == invalidInstId || t[p].op != Opcode::Addi)
+            continue;
+        // The load consumed the same value earlier.
+        bool load_before = false;
+        for (std::size_t j = p + 1; j < i; ++j) {
+            if (t[j].isLoad() && t[j].prod[srcSlot1] == p)
+                load_before = true;
+        }
+        if (load_before)
+            ++checked;
+    }
+    EXPECT_GT(checked, 300u);
+}
+
+TEST(MicroKernels, WideIlpScalesWithChains)
+{
+    UnifiedSteering steer(UnifiedSteeringOptions{}, nullptr, nullptr);
+    AgeScheduling age;
+    double cpi2, cpi8;
+    {
+        Trace t = annotate(buildMicroWideIlp(cfgOf(8000), 2));
+        cpi2 = TimingSim(MachineConfig::monolithic(), t, steer, age)
+                   .run().cpi();
+    }
+    {
+        Trace t = annotate(buildMicroWideIlp(cfgOf(8000), 8));
+        cpi8 = TimingSim(MachineConfig::monolithic(), t, steer, age)
+                   .run().cpi();
+    }
+    // More chains -> more ILP -> lower CPI, approaching the 8-wide
+    // front-end bound.
+    EXPECT_LT(cpi8, cpi2 * 0.5);
+}
+
+} // anonymous namespace
+} // namespace csim

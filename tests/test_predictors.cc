@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the criticality predictors: the binary Fields
+ * predictor (6-bit, +8/-1, threshold 8) and the 16-level LoC
+ * predictor with probabilistic 4-bit counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "predict/criticality_predictor.hh"
+#include "predict/loc_predictor.hh"
+
+namespace csim {
+namespace {
+
+TEST(CriticalityPredictor, ColdPredictsNotCritical)
+{
+    CriticalityPredictor pred;
+    EXPECT_FALSE(pred.predict(0x1000));
+}
+
+TEST(CriticalityPredictor, OneCriticalInstanceSufficesBriefly)
+{
+    CriticalityPredictor pred;
+    pred.train(0x1000, true);
+    EXPECT_TRUE(pred.predict(0x1000));   // counter jumped to 8
+    // Seven non-critical instances decay back below threshold.
+    for (int i = 0; i < 7; ++i)
+        pred.train(0x1000, false);
+    EXPECT_FALSE(pred.predict(0x1000));
+}
+
+TEST(CriticalityPredictor, OneInEightStaysCritical)
+{
+    // The paper's footnote 6: 1 in 8 instances critical is enough to
+    // stay classified critical.
+    CriticalityPredictor pred;
+    for (int round = 0; round < 30; ++round) {
+        pred.train(0x2000, true);
+        // Right after a critical instance the prediction holds.
+        EXPECT_TRUE(pred.predict(0x2000)) << "round " << round;
+        for (int i = 0; i < 7; ++i)
+            pred.train(0x2000, false);
+        // The +8/-1 counter nets +1 per 1-in-8 round, so after enough
+        // rounds the prediction survives even the decay phase.
+        if (round >= 14) {
+            EXPECT_TRUE(pred.predict(0x2000)) << "round " << round;
+        }
+    }
+}
+
+TEST(CriticalityPredictor, OneInSixteenDecays)
+{
+    CriticalityPredictor pred;
+    bool late_predicts = true;
+    for (int round = 0; round < 30; ++round) {
+        pred.train(0x3000, true);
+        for (int i = 0; i < 15; ++i)
+            pred.train(0x3000, false);
+        if (round >= 10)
+            late_predicts = late_predicts && pred.predict(0x3000);
+    }
+    // At 1-in-16 the +8/-16 balance is negative: not critical after
+    // each full round.
+    EXPECT_FALSE(late_predicts);
+}
+
+TEST(CriticalityPredictor, SeparatePcsIndependent)
+{
+    CriticalityPredictor pred;
+    pred.train(0x1000, true);
+    EXPECT_TRUE(pred.predict(0x1000));
+    EXPECT_FALSE(pred.predict(0x1004));
+}
+
+TEST(CriticalityPredictor, ResetClears)
+{
+    CriticalityPredictor pred;
+    pred.train(0x1000, true);
+    pred.reset();
+    EXPECT_FALSE(pred.predict(0x1000));
+    EXPECT_EQ(pred.counterValue(0x1000), 0u);
+}
+
+TEST(CriticalityPredictor, CounterSaturatesAt6Bits)
+{
+    CriticalityPredictor pred;
+    for (int i = 0; i < 100; ++i)
+        pred.train(0x1000, true);
+    EXPECT_EQ(pred.counterValue(0x1000), 63u);
+}
+
+TEST(LocPredictor, ColdIsZero)
+{
+    LocPredictor loc;
+    EXPECT_EQ(loc.level(0x1000), 0u);
+    EXPECT_DOUBLE_EQ(loc.estimate(0x1000), 0.0);
+}
+
+class LocPredictorFreq : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LocPredictorFreq, TracksCriticalityFrequency)
+{
+    const double f = GetParam();
+    LocPredictor loc;
+    Rng data(99);
+    const Addr pc = 0x4000;
+
+    double sum = 0.0;
+    int samples = 0;
+    for (int i = 0; i < 50000; ++i) {
+        loc.train(pc, data.uniform() < f);
+        if (i >= 20000) {
+            sum += loc.estimate(pc);
+            ++samples;
+        }
+    }
+    EXPECT_NEAR(sum / samples, f, 0.09) << "frequency " << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, LocPredictorFreq,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6, 0.8,
+                                           0.95));
+
+TEST(LocPredictor, SixteenLevelsInRange)
+{
+    LocPredictor loc;
+    Rng data(5);
+    for (int i = 0; i < 10000; ++i) {
+        loc.train(0x5000, data.chance(1, 2));
+        ASSERT_LT(loc.level(0x5000), 16u);
+    }
+    EXPECT_EQ(loc.levels(), 16u);
+}
+
+TEST(LocPredictor, ResetClears)
+{
+    LocPredictor loc;
+    for (int i = 0; i < 100; ++i)
+        loc.train(0x1000, true);
+    EXPECT_GT(loc.level(0x1000), 0u);
+    loc.reset();
+    EXPECT_EQ(loc.level(0x1000), 0u);
+}
+
+TEST(LocPredictor, DistinguishesDegreesOfCriticality)
+{
+    // The whole point of LoC (paper Sec. 4): an 80%-critical and a
+    // 25%-critical instruction, both "critical" to the binary
+    // predictor, should separate clearly.
+    LocPredictor loc;
+    Rng data(31);
+    for (int i = 0; i < 30000; ++i) {
+        loc.train(0x100, data.uniform() < 0.8);
+        loc.train(0x200, data.uniform() < 0.25);
+    }
+    EXPECT_GT(loc.level(0x100), loc.level(0x200));
+    EXPECT_GE(loc.estimate(0x100), 0.55);
+    EXPECT_LE(loc.estimate(0x200), 0.5);
+}
+
+} // anonymous namespace
+} // namespace csim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * End-to-end smoke test: workload -> annotated trace -> clustered
+ * timing simulation -> critical-path attribution. Exercises the whole
+ * stack on a small trace and checks basic sanity so deeper unit tests
+ * have a known-good foundation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/timing_sim.hh"
+#include "critpath/attribution.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "workloads/registry.hh"
+
+namespace csim {
+namespace {
+
+TEST(SmokePipeline, VprEndToEnd)
+{
+    WorkloadConfig wcfg;
+    wcfg.targetInstructions = 20000;
+    wcfg.seed = 1;
+    Trace trace = buildAnnotatedTrace("vpr", wcfg);
+    ASSERT_EQ(trace.size(), 20000u);
+
+    TraceStats ts = trace.stats();
+    EXPECT_GT(ts.condBranches, 1000u);
+    EXPECT_GT(ts.mispredicted, 10u);
+    EXPECT_GT(ts.loads, 1000u);
+
+    // Monolithic run.
+    MachineConfig mono = MachineConfig::monolithic();
+    UnifiedSteering steer_mono(UnifiedSteeringOptions{}, nullptr,
+                               nullptr);
+    AgeScheduling age;
+    SimResult r1 = TimingSim(mono, trace, steer_mono, age).run();
+    EXPECT_EQ(r1.instructions, trace.size());
+    EXPECT_GT(r1.cycles, trace.size() / 8);  // can't beat 8-wide
+    EXPECT_LT(r1.cpi(), 10.0);
+
+    // Clustered run.
+    MachineConfig quad = MachineConfig::clustered(4);
+    UnifiedSteering steer_quad(UnifiedSteeringOptions{}, nullptr,
+                               nullptr);
+    SimResult r4 = TimingSim(quad, trace, steer_quad, age).run();
+    EXPECT_EQ(r4.instructions, trace.size());
+    // Clustering should not be faster than monolithic by more than
+    // scheduling noise, and should not be catastrophically slower.
+    EXPECT_GT(r4.cycles * 100, r1.cycles * 95);
+    EXPECT_LT(r4.cpi(), r1.cpi() * 3.0);
+
+    // Critical-path attribution must cover the whole runtime.
+    CpBreakdown bd = analyzeFullRun(trace, r1, mono);
+    EXPECT_EQ(bd.total(), r1.timing.back().commit);
+
+    CpBreakdown bd4 = analyzeFullRun(trace, r4, quad);
+    EXPECT_EQ(bd4.total(), r4.timing.back().commit);
+
+    // Monolithic machines never pay forwarding delay.
+    EXPECT_EQ(bd[CpCategory::FwdDelay], 0u);
+    EXPECT_EQ(r1.globalValues, 0u);
+}
+
+TEST(SmokePipeline, AllWorkloadsBuild)
+{
+    WorkloadConfig wcfg;
+    wcfg.targetInstructions = 5000;
+    wcfg.seed = 2;
+    for (const std::string &name : workloadNames()) {
+        SCOPED_TRACE(name);
+        Trace trace = buildAnnotatedTrace(name, wcfg);
+        EXPECT_EQ(trace.size(), 5000u);
+        TraceStats ts = trace.stats();
+        EXPECT_GT(ts.branches, 100u);
+    }
+}
+
+} // anonymous namespace
+} // namespace csim

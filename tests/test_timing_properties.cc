@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Property suite: every machine invariant must hold for every
+ * (workload, configuration, policy) combination. This is the broad
+ * net that catches scheduling, port and forwarding bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/experiment.hh"
+#include "sim_checks.hh"
+
+namespace csim {
+namespace {
+
+using Combo = std::tuple<std::string, unsigned, PolicyKind>;
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    const std::string &wl = std::get<0>(info.param);
+    const unsigned n = std::get<1>(info.param);
+    std::string policy;
+    switch (std::get<2>(info.param)) {
+      case PolicyKind::Dep:
+        policy = "dep";
+        break;
+      case PolicyKind::Focused:
+        policy = "focused";
+        break;
+      default:
+        policy = "full";
+        break;
+    }
+    return wl + "_" + std::to_string(n) + "c_" + policy;
+}
+
+class SimInvariants : public ::testing::TestWithParam<Combo>
+{};
+
+TEST_P(SimInvariants, AllMachineInvariantsHold)
+{
+    const std::string workload = std::get<0>(GetParam());
+    const unsigned clusters = std::get<1>(GetParam());
+    const PolicyKind policy = std::get<2>(GetParam());
+
+    WorkloadConfig wcfg;
+    wcfg.targetInstructions = 8000;
+    wcfg.seed = 7;
+    Trace trace = buildAnnotatedTrace(workload, wcfg);
+
+    const MachineConfig mc = clusters == 1
+        ? MachineConfig::monolithic()
+        : MachineConfig::clustered(clusters);
+
+    ExperimentConfig cfg;
+    cfg.warmupRuns = 1;
+    PolicyRun run = runPolicy(trace, mc, policy, cfg);
+    validateTiming(trace, run.sim, mc);
+
+    // The critical-path walk must account for the entire runtime.
+    EXPECT_EQ(run.breakdown.total(), run.sim.timing.back().commit);
+
+    // A monolithic machine never pays forwarding delay.
+    if (clusters == 1) {
+        EXPECT_EQ(run.breakdown[CpCategory::FwdDelay], 0u);
+        EXPECT_EQ(run.sim.globalValues, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimInvariants,
+    ::testing::Combine(
+        ::testing::Values(std::string("vpr"), std::string("gzip"),
+                          std::string("mcf"), std::string("vortex"),
+                          std::string("gcc"), std::string("bzip2")),
+        ::testing::Values(1u, 2u, 4u, 8u),
+        ::testing::Values(PolicyKind::Dep, PolicyKind::Focused,
+                          PolicyKind::FocusedLocStallProactive)),
+    comboName);
+
+using WlClusters = std::tuple<std::string, unsigned>;
+
+std::string
+wlClustersName(const ::testing::TestParamInfo<WlClusters> &info)
+{
+    return std::get<0>(info.param) + "_" +
+        std::to_string(std::get<1>(info.param)) + "c";
+}
+
+class BaselinePolicies : public ::testing::TestWithParam<WlClusters>
+{};
+
+TEST_P(BaselinePolicies, ModNAndLoadBalanceAreValid)
+{
+    const std::string workload = std::get<0>(GetParam());
+    const unsigned clusters = std::get<1>(GetParam());
+    WorkloadConfig wcfg;
+    wcfg.targetInstructions = 6000;
+    wcfg.seed = 3;
+    Trace trace = buildAnnotatedTrace(workload, wcfg);
+    const MachineConfig mc = MachineConfig::clustered(clusters);
+    ExperimentConfig cfg;
+
+    for (PolicyKind kind : {PolicyKind::ModN, PolicyKind::LoadBal}) {
+        PolicyRun run = runPolicy(trace, mc, kind, cfg);
+        validateTiming(trace, run.sim, mc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselinePolicies,
+    ::testing::Combine(::testing::Values(std::string("perl"),
+                                         std::string("twolf")),
+                       ::testing::Values(2u, 4u, 8u)),
+    wlClustersName);
+
+/** Clustering should never help: a partitioned machine has strictly
+ *  fewer scheduling options than the monolithic one (small tolerance
+ *  for policy noise). */
+class ClusteringMonotonic
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ClusteringMonotonic, ClusteredNotFasterThanMonolithic)
+{
+    const std::string workload = GetParam();
+    WorkloadConfig wcfg;
+    wcfg.targetInstructions = 10000;
+    wcfg.seed = 5;
+    Trace trace = buildAnnotatedTrace(workload, wcfg);
+    ExperimentConfig cfg;
+
+    PolicyRun mono = runPolicy(trace, MachineConfig::monolithic(),
+                               PolicyKind::Dep, cfg);
+    for (unsigned n : {2u, 4u, 8u}) {
+        PolicyRun clus = runPolicy(trace, MachineConfig::clustered(n),
+                                   PolicyKind::Dep, cfg);
+        EXPECT_GE(clus.sim.cycles * 100, mono.sim.cycles * 99)
+            << n << " clusters beat monolithic on " << workload;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ClusteringMonotonic,
+                         ::testing::ValuesIn(workloadNames()));
+
+/** Raising the forwarding latency can only slow a clustered machine
+ *  (small tolerance for steering-feedback noise). */
+class FwdLatencyMonotonic
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(FwdLatencyMonotonic, SlowerWiresNeverHelp)
+{
+    const std::string workload = GetParam();
+    WorkloadConfig wcfg;
+    wcfg.targetInstructions = 8000;
+    wcfg.seed = 2;
+    Trace trace = buildAnnotatedTrace(workload, wcfg);
+    ExperimentConfig cfg;
+
+    Cycle prev = 0;
+    for (unsigned lat : {1u, 2u, 4u}) {
+        MachineConfig mc = MachineConfig::clustered(4);
+        mc.fwdLatency = lat;
+        PolicyRun run = runPolicy(trace, mc, PolicyKind::Dep, cfg);
+        if (prev != 0) {
+            EXPECT_GE(run.sim.cycles * 100, prev * 99) << lat;
+        }
+        prev = run.sim.cycles;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, FwdLatencyMonotonic,
+                         ::testing::Values(std::string("gzip"),
+                                           std::string("vpr"),
+                                           std::string("vortex")));
+
+} // anonymous namespace
+} // namespace csim

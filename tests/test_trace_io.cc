@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for binary trace serialization: round-trip fidelity and
+ * corruption handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/timing_sim.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "trace/trace_io.hh"
+#include "workloads/registry.hh"
+
+namespace csim {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/csim_" + tag +
+        ".trc";
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 4000;
+    cfg.seed = 5;
+    Trace original = buildAnnotatedTrace("bzip2", cfg);
+
+    const std::string path = tempPath("roundtrip");
+    ASSERT_TRUE(saveTrace(original, path));
+
+    Trace loaded;
+    ASSERT_EQ(loadTrace(loaded, path), TraceIoStatus::Ok);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        SCOPED_TRACE(i);
+        const TraceRecord &a = original[i];
+        const TraceRecord &b = loaded[i];
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.op, b.op);
+        ASSERT_EQ(a.cls, b.cls);
+        ASSERT_EQ(a.dest, b.dest);
+        ASSERT_EQ(a.src1, b.src1);
+        ASSERT_EQ(a.src2, b.src2);
+        ASSERT_EQ(a.memAddr, b.memAddr);
+        ASSERT_EQ(a.execLat, b.execLat);
+        ASSERT_EQ(a.prod, b.prod);
+        ASSERT_EQ(a.isBranch, b.isBranch);
+        ASSERT_EQ(a.isCondBranch, b.isCondBranch);
+        ASSERT_EQ(a.taken, b.taken);
+        ASSERT_EQ(a.mispredicted, b.mispredicted);
+        ASSERT_EQ(a.l1Miss, b.l1Miss);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    Trace empty;
+    const std::string path = tempPath("empty");
+    ASSERT_TRUE(saveTrace(empty, path));
+    Trace loaded;
+    // Pre-populate to check it is replaced.
+    loaded.append(TraceRecord{});
+    ASSERT_EQ(loadTrace(loaded, path), TraceIoStatus::Ok);
+    EXPECT_EQ(loaded.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFile)
+{
+    Trace t;
+    EXPECT_EQ(loadTrace(t, "/nonexistent/dir/x.trc"),
+              TraceIoStatus::CannotOpen);
+}
+
+TEST(TraceIo, BadMagicRejected)
+{
+    const std::string path = tempPath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a trace file at all", f);
+    std::fclose(f);
+
+    Trace t;
+    t.append(TraceRecord{});
+    EXPECT_EQ(loadTrace(t, path), TraceIoStatus::BadMagic);
+    EXPECT_EQ(t.size(), 1u);  // untouched on failure
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncationDetected)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 100;
+    cfg.seed = 1;
+    Trace original = buildAnnotatedTrace("vpr", cfg);
+    const std::string path = tempPath("trunc");
+    ASSERT_TRUE(saveTrace(original, path));
+
+    // Chop off the tail.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+    Trace t;
+    EXPECT_EQ(loadTrace(t, path), TraceIoStatus::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, StatusNames)
+{
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::Ok), "ok");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::BadVersion),
+                 "bad version");
+}
+
+TEST(TraceIo, LoadedTraceSimulatesIdentically)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 6000;
+    cfg.seed = 8;
+    Trace original = buildAnnotatedTrace("twolf", cfg);
+
+    const std::string path = tempPath("simequal");
+    ASSERT_TRUE(saveTrace(original, path));
+    Trace loaded;
+    ASSERT_EQ(loadTrace(loaded, path), TraceIoStatus::Ok);
+    ASSERT_TRUE(loaded.wellFormed());
+
+    UnifiedSteering s1(UnifiedSteeringOptions{}, nullptr, nullptr);
+    UnifiedSteering s2(UnifiedSteeringOptions{}, nullptr, nullptr);
+    AgeScheduling age;
+    const MachineConfig mc = MachineConfig::clustered(4);
+    SimResult a = TimingSim(mc, original, s1, age).run();
+    SimResult b = TimingSim(mc, loaded, s2, age).run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.globalValues, b.globalValues);
+    std::remove(path.c_str());
+}
+
+TEST(TraceWellFormed, DetectsCorruptLinks)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 200;
+    cfg.seed = 1;
+    Trace t = buildAnnotatedTrace("vpr", cfg);
+    ASSERT_TRUE(t.wellFormed());
+
+    // Forward-pointing producer: malformed.
+    t[10].prod[srcSlot1] = 150;
+    EXPECT_FALSE(t.wellFormed());
+}
+
+TEST(TraceWellFormed, DetectsClassMismatchAndZeroLatency)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 100;
+    cfg.seed = 1;
+    Trace t = buildAnnotatedTrace("vpr", cfg);
+    Trace t2 = t;
+    t2[5].cls = t2[5].cls == OpClass::Load ? OpClass::IntAlu
+                                           : OpClass::Load;
+    EXPECT_FALSE(t2.wellFormed());
+
+    Trace t3 = t;
+    t3[5].execLat = 0;
+    EXPECT_FALSE(t3.wellFormed());
+}
+
+} // anonymous namespace
+} // namespace csim
