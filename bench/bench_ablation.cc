@@ -14,6 +14,7 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
@@ -39,8 +40,9 @@ averageNormCpi(const ExperimentConfig &cfg, unsigned clusters,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_ablation", argc, argv);
     const std::vector<std::string> sample = {"gzip", "vpr", "gap",
                                              "parser", "mcf", "gcc"};
 
@@ -52,10 +54,13 @@ main()
     for (unsigned levels : {2u, 4u, 8u, 16u, 64u, 1024u}) {
         ExperimentConfig cfg;
         cfg.seeds = {1};
+        ctx.apply(cfg);
         cfg.locLevels = levels;
         const double cpi = averageNormCpi(cfg, 8,
                                           PolicyKind::FocusedLoc,
                                           sample);
+        ctx.addScalar("normCpi.locLevels." + std::to_string(levels),
+                      cpi);
         std::printf("%8u  %10.3f%s\n", levels, cpi,
                     levels == 16 ? "   <- paper's design point" : "");
     }
@@ -68,9 +73,13 @@ main()
     for (double thr : {0.10, 0.30, 0.50}) {
         ExperimentConfig cfg;
         cfg.seeds = {1};
+        ctx.apply(cfg);
         cfg.stallThreshold = thr;
         const double cpi = averageNormCpi(
             cfg, 8, PolicyKind::FocusedLocStall, sample);
+        ctx.addScalar("normCpi.stallThreshold." +
+                          std::to_string(static_cast<int>(thr * 100)),
+                      cpi);
         std::printf("%9.0f%%  %10.3f%s\n", thr * 100.0, cpi,
                     thr == 0.30 ? "   <- paper's design point" : "");
     }
@@ -86,13 +95,16 @@ main()
     for (std::uint64_t chunk : {1024ull, 8192ull, 32768ull}) {
         ExperimentConfig cfg;
         cfg.seeds = {1};
+        ctx.apply(cfg);
         cfg.trainChunk = chunk;
         const double cpi = averageNormCpi(cfg, 8,
                                           PolicyKind::FocusedLoc,
                                           sample);
+        ctx.addScalar("normCpi.trainChunk." + std::to_string(chunk),
+                      cpi);
         std::printf("%8llu  %10.3f%s\n",
                     static_cast<unsigned long long>(chunk), cpi,
                     chunk == 8192 ? "   <- default" : "");
     }
-    return 0;
+    return ctx.finish();
 }

@@ -13,6 +13,7 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 #include "policy/extra_steering.hh"
 #include "policy/scheduling.hh"
@@ -20,9 +21,11 @@
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_cluster_sweep", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
 
     std::printf("=== Cluster sweep, 1-wide clusters (CPI normalized "
                 "to 1x8w, focused policy baseline) ===\n\n");
@@ -71,6 +74,10 @@ main()
                     cpi = cycles / instrs;
                 }
                 row.push_back(formatDouble(cpi / base.cpi(), 3));
+                ctx.addScalar("normCpi." + std::string(wl) + "." +
+                                  label + "." + std::to_string(n) +
+                                  "x1w",
+                              cpi / base.cpi());
             }
             t.addRow(std::move(row));
         }
@@ -83,5 +90,5 @@ main()
                 "locality; the Balasubramonian effect is the gap "
                 "between 4x1w and 16x1w on serial code under plain "
                 "focused steering.\n");
-    return 0;
+    return ctx.finish();
 }

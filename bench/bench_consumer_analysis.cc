@@ -14,14 +14,17 @@
 #include "common/stats.hh"
 #include "critpath/consumer_analysis.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_consumer_analysis", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
 
     std::printf("=== Sec. 6: most-critical-consumer analysis "
                 "(monolithic machine) ===\n\n");
@@ -38,6 +41,7 @@ main()
         Trace trace = buildAnnotatedTrace(wl, wcfg);
         PolicyRun run = runPolicy(trace, MachineConfig::monolithic(),
                                   PolicyKind::Focused, cfg);
+        ctx.addRunStats(wl + "/1x8w/focused", run.sim.stats);
         ConsumerAnalysis ca = analyzeConsumers(
             trace, run.sim, MachineConfig::monolithic());
         t.addRow({wl, std::to_string(ca.valuesAnalyzed),
@@ -67,5 +71,7 @@ main()
                     100.0 * (tendency.bucketLo(b) + 0.1),
                     100.0 * tendency.fraction(b));
     }
-    return 0;
+    ctx.addScalar("staticallyUniqueFraction", unique_sum / k);
+    ctx.addScalar("mostCriticalNotFirstFraction", notfirst_sum / k);
+    return ctx.finish();
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
@@ -30,9 +31,11 @@ struct Cell
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_fig14_policies", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
 
     std::vector<std::string> columns;
     for (unsigned n : {2u, 4u, 8u}) {
@@ -56,6 +59,9 @@ main()
             wl, MachineConfig::monolithic(), PolicyKind::FocusedLoc,
             cfg);
         const double base_cpi = mono.cpi();
+        ctx.addRunStats(wl + "/1x8w/" +
+                            policyName(PolicyKind::FocusedLoc),
+                        mono.stats);
 
         auto run_cell = [&](unsigned n, PolicyKind kind,
                             const std::string &col) {
@@ -68,6 +74,10 @@ main()
             cont_grid.set(wl, col,
                           res.categoryCpi(CpCategory::Contention) /
                               base_cpi);
+            ctx.addRunStats(wl + "/" + std::to_string(n) + "x" +
+                                std::to_string(8 / n) + "w/" +
+                                policyName(kind),
+                            res.stats);
         };
 
         for (unsigned n : {2u, 4u, 8u}) {
@@ -99,6 +109,13 @@ main()
                     n, 8 / n, before, after,
                     before > 0 ? 100.0 * (before - after) / before
                                : 0.0);
+        ctx.addScalar("penaltyReduction." + b + "x" +
+                          std::to_string(8 / n) + "w",
+                      before > 0 ? (before - after) / before : 0.0);
     }
-    return 0;
+
+    ctx.addGrid(grid);
+    ctx.addGrid(fwd_grid);
+    ctx.addGrid(cont_grid);
+    return ctx.finish();
 }

@@ -14,14 +14,17 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_fig15_ilp", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
     cfg.simOptions.collectIlp = true;
 
     const unsigned max_avail = 24;
@@ -37,6 +40,11 @@ main()
             PolicyRun run = runPolicy(
                 trace, MachineConfig::clustered(8),
                 PolicyKind::FocusedLocStallProactive, cfg);
+            ctx.addRunStats(wl + "/8x1w/" +
+                                policyName(PolicyKind::
+                                               FocusedLocStallProactive) +
+                                "/seed" + std::to_string(seed),
+                            run.sim.stats);
             for (std::size_t a = 0;
                  a < run.sim.ilpCycles.size(); ++a) {
                 const std::size_t b = std::min<std::size_t>(a,
@@ -61,6 +69,7 @@ main()
         if (cycles_sum[a] == 0.0)
             continue;
         const double achieved = issued_sum[a] / cycles_sum[a];
+        ctx.addScalar("achievedIlp." + std::to_string(a), achieved);
         std::printf("%9u%s  %12.2f  %13.1f%%  %s\n", a,
                     a == max_avail ? "+" : " ", achieved,
                     100.0 * cycles_sum[a] / total_cycles,
@@ -71,5 +80,5 @@ main()
                 "~4-5, then saturates below the 8-wide peak near the "
                 "machine width and approaches it again only when "
                 "plenty of ready instructions exist per cluster.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -14,14 +14,17 @@
 #include <cstdio>
 
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_fig2_ideal", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
     FigureGrid grid("=== Figure 2: idealized list scheduling "
                     "(CPI normalized to 1x8w list schedule) ===",
                     {"2x4w", "4x2w", "8x1w"});
@@ -29,11 +32,16 @@ main()
     for (const std::string &wl : workloadNames()) {
         AggregateResult base = runIdealAggregate(
             wl, MachineConfig::monolithic(), cfg);
+        ctx.addRunStats(wl + "/1x8w/ideal", base.stats);
         for (unsigned n : {2u, 4u, 8u}) {
             AggregateResult clus = runIdealAggregate(
                 wl, MachineConfig::clustered(n), cfg);
             grid.set(wl, MachineConfig::clustered(n).name(),
                      clus.cpi() / base.cpi());
+            ctx.addRunStats(wl + "/" +
+                                MachineConfig::clustered(n).name() +
+                                "/ideal",
+                            clus.stats);
         }
         std::fprintf(stderr, "  %s done\n", wl.c_str());
     }
@@ -42,5 +50,6 @@ main()
     std::printf("Paper: averages ~1.01/1.01/1.02; worst cases in "
                 "bzip2, crafty, vpr (convergent dataflow), 8x1w never "
                 "worse than ~4%%.\n");
-    return 0;
+    ctx.addGrid(grid);
+    return ctx.finish();
 }

@@ -10,14 +10,17 @@
 #include <cstdio>
 
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_fig4_focused", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
     FigureGrid grid("=== Figure 4: focused steering & scheduling "
                     "(CPI normalized to 1x8w) ===",
                     {"2x4w", "4x2w", "8x1w"});
@@ -25,12 +28,17 @@ main()
     for (const std::string &wl : workloadNames()) {
         AggregateResult base = runAggregate(
             wl, MachineConfig::monolithic(), PolicyKind::Focused, cfg);
+        ctx.addRunStats(wl + "/1x8w/focused", base.stats);
         for (unsigned n : {2u, 4u, 8u}) {
             AggregateResult clus = runAggregate(
                 wl, MachineConfig::clustered(n), PolicyKind::Focused,
                 cfg);
             grid.set(wl, MachineConfig::clustered(n).name(),
                      clus.cpi() / base.cpi());
+            ctx.addRunStats(wl + "/" +
+                                MachineConfig::clustered(n).name() +
+                                "/focused",
+                            clus.stats);
         }
         std::fprintf(stderr, "  %s done\n", wl.c_str());
     }
@@ -39,5 +47,6 @@ main()
     std::printf("Paper: 2x4w usually within 5%%, 4x2w slowdowns past "
                 "10%%, 8x1w averages ~20%% — an order of magnitude "
                 "above Figure 2.\n");
-    return 0;
+    ctx.addGrid(grid);
+    return ctx.finish();
 }

@@ -12,14 +12,17 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_fig5_breakdown", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
     const CpCategory cats[] = {
         CpCategory::FwdDelay, CpCategory::Contention,
         CpCategory::Execute, CpCategory::Window, CpCategory::Fetch,
@@ -47,6 +50,8 @@ main()
                                       : MachineConfig::clustered(n);
             AggregateResult res = n == 1 ? base :
                 runAggregate(wl, mc, PolicyKind::Focused, cfg);
+            ctx.addRunStats(wl + "/" + mc.name() + "/focused",
+                            res.stats);
             std::vector<std::string> row{mc.name(),
                 formatDouble(res.cpi() / base_cpi, 3)};
             for (CpCategory c : cats)
@@ -66,5 +71,9 @@ main()
     std::printf("Paper: clustering shifts the path from fetch- to "
                 "execute-criticality and adds fwd-delay and contention "
                 "components that grow with cluster count.\n");
-    return 0;
+    ctx.addScalar("aveNormCpi.1x8w", avg_total[0] / nwl);
+    ctx.addScalar("aveNormCpi.2x4w", avg_total[1] / nwl);
+    ctx.addScalar("aveNormCpi.4x2w", avg_total[2] / nwl);
+    ctx.addScalar("aveNormCpi.8x1w", avg_total[3] / nwl);
+    return ctx.finish();
 }

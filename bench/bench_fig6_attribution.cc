@@ -20,14 +20,17 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_fig6_attribution", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
 
     std::printf("=== Figure 6: critical-path event attribution "
                 "(focused policy; events per 10k instructions) "
@@ -46,6 +49,10 @@ main()
             AggregateResult res = runAggregate(
                 wl, MachineConfig::clustered(n), PolicyKind::Focused,
                 cfg);
+            ctx.addRunStats(wl + "/" +
+                                MachineConfig::clustered(n).name() +
+                                "/focused",
+                            res.stats);
             const double scale =
                 10000.0 / static_cast<double>(res.instructions);
             auto fmt = [&](std::uint64_t v) {
@@ -79,5 +86,10 @@ main()
                 "predicted-critical instructions; load-balance "
                 "steering dominates forwarding except in "
                 "bzip2/crafty (dyadic).\n");
-    return 0;
+    ctx.addScalar("contentionCriticalPer10k", crit_sum / cells);
+    ctx.addScalar("contentionOtherPer10k", other_sum / cells);
+    ctx.addScalar("fwdLoadBalPer10k", lb_sum / cells);
+    ctx.addScalar("fwdDyadicPer10k", dy_sum / cells);
+    ctx.addScalar("fwdOtherPer10k", ot_sum / cells);
+    return ctx.finish();
 }

@@ -16,14 +16,17 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_fig8_loc_dist", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
     Histogram hist(21, 0.0, 1.05);  // 5% buckets, 0..100%
 
     for (const std::string &wl : workloadNames()) {
@@ -35,6 +38,9 @@ main()
             PolicyRun run = runPolicy(
                 trace, MachineConfig::monolithic(),
                 PolicyKind::Focused, cfg);
+            ctx.addRunStats(wl + "/1x8w/focused/seed" +
+                                std::to_string(seed),
+                            run.sim.stats);
             std::vector<bool> crit = criticalityGroundTruth(
                 trace, run.sim, MachineConfig::monolithic());
 
@@ -76,5 +82,10 @@ main()
     std::printf("\nPaper: ~53%% of dynamic instructions are "
                 "never-critical; the rest spread over a wide spectrum "
                 "the binary predictor collapses to one bit.\n");
-    return 0;
+    for (std::size_t b = 0; b < hist.size(); ++b)
+        ctx.addScalar("locFraction." +
+                          std::to_string(static_cast<int>(
+                              100.0 * hist.bucketLo(b))),
+                      hist.fraction(b));
+    return ctx.finish();
 }

@@ -10,14 +10,17 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_global_traffic", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
 
     std::printf("=== Sec. 2.1: global values per instruction ===\n\n");
     TextTable t({"config", "dependence", "focused", "full stack",
@@ -43,6 +46,14 @@ main()
         t.addRow({mc.name(), formatDouble(dep / k, 3),
                   formatDouble(foc / k, 3), formatDouble(full / k, 3),
                   formatDouble(ideal / k, 3)});
+        ctx.addScalar("globalValuesPerInst." + mc.name() + ".dep",
+                      dep / k);
+        ctx.addScalar("globalValuesPerInst." + mc.name() + ".focused",
+                      foc / k);
+        ctx.addScalar("globalValuesPerInst." + mc.name() + ".full",
+                      full / k);
+        ctx.addScalar("globalValuesPerInst." + mc.name() + ".ideal",
+                      ideal / k);
         std::fprintf(stderr, "  %s done\n", mc.name().c_str());
     }
 
@@ -50,5 +61,5 @@ main()
     std::printf("Paper: 0.12 / 0.20 / 0.25 global values per "
                 "instruction for its policies on the 2-/4-/8-cluster "
                 "machines, slightly below the baseline policy.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -11,14 +11,17 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_latency_sweep", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
 
     std::printf("=== Footnote 3: forwarding-latency sweep (average "
                 "CPI normalized to 1x8w) ===\n\n");
@@ -57,6 +60,12 @@ main()
                       formatDouble(avg[0] / k, 3),
                       formatDouble(avg[1] / k, 3),
                       formatDouble(avg[2] / k, 3)});
+            const std::string pfx = "normCpi.lat" +
+                std::to_string(lat) +
+                (mode == 0 ? ".ideal." : ".policies.");
+            ctx.addScalar(pfx + "2x4w", avg[0] / k);
+            ctx.addScalar(pfx + "4x2w", avg[1] / k);
+            ctx.addScalar(pfx + "8x1w", avg[2] / k);
         }
         std::fprintf(stderr, "  latency %u done\n", lat);
     }
@@ -65,5 +74,5 @@ main()
     std::printf("Paper: the idealized averages stay below ~2%% (8x1w "
                 "~4%%) even at a 4-cycle forwarding latency; trends, "
                 "not absolutes, are the claim.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/timing_sim.hh"
 #include "critpath/attribution.hh"
 #include "frontend/gshare.hh"
@@ -159,4 +162,32 @@ BENCHMARK(BM_LocPredictor);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+// Custom main: accept the repo-wide `--json <path>` flag by mapping it
+// onto google-benchmark's own JSON reporter, so every bench binary
+// shares one machine-readable output convention.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    std::vector<std::string> storage;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            storage.push_back(std::string("--benchmark_out=") +
+                              argv[i + 1]);
+            storage.push_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            storage.push_back(argv[i]);
+        }
+    }
+    for (std::string &s : storage)
+        args.push_back(s.data());
+    int new_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&new_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(new_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

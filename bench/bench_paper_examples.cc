@@ -18,6 +18,7 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 #include "policy/scheduling.hh"
 #include "policy/steering.hh"
@@ -46,8 +47,9 @@ runKind(const Trace &t, const MachineConfig &mc, PolicyKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_paper_examples", argc, argv);
     WorkloadConfig wcfg;
     wcfg.targetInstructions = 30000;
     wcfg.seed = 1;
@@ -71,6 +73,11 @@ main()
                     stall.sim.cpi(),
                     static_cast<unsigned long long>(
                         stall.breakdown[CpCategory::FwdDelay]));
+        ctx.addScalar("fig9.depCpi", dep.sim.cpi());
+        ctx.addScalar("fig9.stallCpi", stall.sim.cpi());
+        ctx.addRunStats("serialChain/8x1w/dependence", dep.sim.stats);
+        ctx.addRunStats("serialChain/8x1w/focused+loc+stall",
+                        stall.sim.stats);
         std::printf("Paper: load-balancing injects one forwarding "
                     "delay per window fill; stalling removes them "
                     "all (CPI -> the chain's 1.0 bound).\n\n");
@@ -122,6 +129,10 @@ main()
                     "penalty)\n\n",
                     full.sim.cpi(),
                     100.0 * (full.sim.cpi() / mono.sim.cpi() - 1.0));
+        ctx.addScalar("fig12.monoCpi", mono.sim.cpi());
+        ctx.addScalar("fig12.depCpi", dep.sim.cpi());
+        ctx.addScalar("fig12.fullCpi", full.sim.cpi());
+        ctx.addRunStats("earlyExit/8x1w/full", full.sim.stats);
         std::printf("Paper: collocating only the first consumer "
                     "spreads the recurrence (Fig. 13a); keeping the "
                     "most critical consumer preserves the spine "
@@ -143,6 +154,9 @@ main()
                 PolicyKind::FocusedLocStallProactive);
             std::printf("%8u  %10.3f  %12.3f\n", chains,
                         mono.sim.cpi(), clus.sim.cpi());
+            ctx.addScalar("wideIlp.chains" + std::to_string(chains) +
+                              ".clusCpi",
+                          clus.sim.cpi());
         }
         std::printf("\nPaper (Fig. 15 / Sec. 7): the clustered "
                     "machine suffers when the ready-instruction "
@@ -154,5 +168,5 @@ main()
                     "stays busy; in between the gap opens, the "
                     "distribution problem of Sec. 7.\n");
     }
-    return 0;
+    return ctx.finish();
 }

@@ -10,14 +10,17 @@
 #include <cstdio>
 
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_sec4_loc_ideal", argc, argv);
     ExperimentConfig cfg;
+    ctx.apply(cfg);
 
     const struct
     {
@@ -49,6 +52,10 @@ main()
                 ratios.push_back(clus.cpi() / base.cpi());
             }
             std::printf("  %8.3f", mean(ratios));
+            ctx.addScalar("normCpi." +
+                              MachineConfig::clustered(n).name() + "." +
+                              v.name,
+                          mean(ratios));
         }
         std::printf("\n");
         std::fprintf(stderr, "  %u clusters done\n", n);
@@ -58,5 +65,5 @@ main()
                 "oracle; binary criticality loses 5%% (4x2w) and "
                 "9.8%% (8x1w) — the case for a criticality "
                 "*spectrum*.\n");
-    return 0;
+    return ctx.finish();
 }

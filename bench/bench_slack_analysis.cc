@@ -17,15 +17,18 @@
 #include "common/stats.hh"
 #include "critpath/slack.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
 #include "harness/report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_slack_analysis", argc, argv);
     ExperimentConfig cfg;
     cfg.seeds = {1};
+    ctx.apply(cfg);
 
     std::printf("=== Sec. 4: slack is impractical as a static metric "
                 "===\n\n");
@@ -58,6 +61,9 @@ main()
         t.addRow({wl, formatPercent(sa.highVarianceFraction, 1),
                   formatDouble(mispred.mean(), 1),
                   formatDouble(correct.mean(), 1)});
+        ctx.addRunStats(wl + "/1x8w/focused", run.sim.stats);
+        ctx.addScalar("highVarianceFraction." + wl,
+                      sa.highVarianceFraction);
         std::fprintf(stderr, "  %s done\n", wl.c_str());
     }
 
@@ -68,5 +74,5 @@ main()
                 "behaviour Sec. 4 describes. (Branches resolve at "
                 "execute; 'slack' here is the local first-use gap, "
                 "capped at 256.)\n");
-    return 0;
+    return ctx.finish();
 }

@@ -9,12 +9,14 @@
 
 #include "common/stats.hh"
 #include "core/machine_config.hh"
+#include "harness/json_report.hh"
 
 using namespace csim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("bench_table1_config", argc, argv);
     std::printf("=== Table 1: machine parameters ===\n\n");
     const MachineConfig m = MachineConfig::monolithic();
     std::printf("Front-end   %u-wide, %u stages to dispatch, perfect "
@@ -45,7 +47,10 @@ main()
                   std::to_string(c.cluster.fpPorts),
                   std::to_string(c.cluster.memPorts),
                   std::to_string(c.windowPerCluster)});
+        ctx.addScalar(c.name() + ".issueWidth", c.cluster.issueWidth);
+        ctx.addScalar(c.name() + ".windowPerCluster",
+                      c.windowPerCluster);
     }
     std::printf("%s\n", t.str().c_str());
-    return 0;
+    return ctx.finish();
 }

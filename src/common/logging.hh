@@ -1,16 +1,22 @@
 /**
  * @file
- * Error-reporting helpers in the spirit of gem5's logging.hh.
+ * Error-reporting and logging helpers in the spirit of gem5's
+ * logging.hh.
  *
  * panic()  -- an internal invariant was violated (a simulator bug);
  *             aborts so a debugger or core dump can inspect the state.
  * fatal()  -- the user asked for something unsatisfiable (bad config);
  *             exits with an error code.
+ *
+ * The _F variants take printf-style format strings; CSIM_LOG emits
+ * leveled diagnostics gated by a runtime-settable global level so
+ * instrumentation code never needs bare fprintf calls.
  */
 
 #ifndef CSIM_COMMON_LOGGING_HH
 #define CSIM_COMMON_LOGGING_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -30,10 +36,119 @@ fatalImpl(const char *file, int line, const char *msg)
     std::exit(1);
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+#define CSIM_PRINTF_LIKE(fmt_idx, arg_idx)                                 \
+    __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define CSIM_PRINTF_LIKE(fmt_idx, arg_idx)
+#endif
+
+[[noreturn]] inline void
+panicFmtImpl(const char *file, int line, const char *fmt, ...)
+    CSIM_PRINTF_LIKE(3, 4);
+
+[[noreturn]] inline void
+panicFmtImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "panic: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, " (%s:%d)\n", file, line);
+    va_end(ap);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalFmtImpl(const char *file, int line, const char *fmt, ...)
+    CSIM_PRINTF_LIKE(3, 4);
+
+[[noreturn]] inline void
+fatalFmtImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "fatal: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, " (%s:%d)\n", file, line);
+    va_end(ap);
+    std::exit(1);
+}
+
+/**
+ * Diagnostic verbosity, most to least severe. Error is always printed;
+ * the default global level is Warn.
+ */
+enum class LogLevel : int
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** The runtime-settable global log level (process-wide). */
+inline LogLevel &
+logLevelRef()
+{
+    static LogLevel level = LogLevel::Warn;
+    return level;
+}
+
+inline LogLevel logLevel() { return logLevelRef(); }
+inline void setLogLevel(LogLevel level) { logLevelRef() = level; }
+
+inline const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Trace: return "trace";
+      default: return "?";
+    }
+}
+
+inline void
+logImpl(LogLevel level, const char *fmt, ...) CSIM_PRINTF_LIKE(2, 3);
+
+inline void
+logImpl(LogLevel level, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "[%s] ", logLevelName(level));
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+}
+
 } // namespace csim
 
 #define CSIM_PANIC(msg) ::csim::panicImpl(__FILE__, __LINE__, (msg))
 #define CSIM_FATAL(msg) ::csim::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** printf-style panic: CSIM_PANIC_F("bad id %u", id). */
+#define CSIM_PANIC_F(...) \
+    ::csim::panicFmtImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** printf-style fatal: CSIM_FATAL_F("unknown flag %s", arg). */
+#define CSIM_FATAL_F(...) \
+    ::csim::fatalFmtImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * Leveled log statement, gated by the global level at runtime:
+ * CSIM_LOG(Info, "run %u finished in %llu cycles", i, cycles).
+ * The level is a bare LogLevel enumerator name.
+ */
+#define CSIM_LOG(level, ...)                                               \
+    do {                                                                   \
+        if (::csim::LogLevel::level <= ::csim::logLevel())                 \
+            ::csim::logImpl(::csim::LogLevel::level, __VA_ARGS__);         \
+    } while (0)
 
 /** Invariant check that stays on in release builds. */
 #define CSIM_ASSERT(cond)                                                  \

@@ -7,6 +7,7 @@
 #ifndef CSIM_COMMON_STATS_HH
 #define CSIM_COMMON_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,7 +16,11 @@
 
 namespace csim {
 
-/** Running mean/min/max over a stream of samples. */
+/**
+ * Running mean/min/max/variance over a stream of samples. Variance uses
+ * Welford's online algorithm, so it is numerically stable even for
+ * long streams with a large mean.
+ */
 class RunningStat
 {
   public:
@@ -28,19 +33,33 @@ class RunningStat
             max_ = x;
         sum_ += x;
         ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
     }
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 with fewer than 2 samples. */
+    double
+    variance() const
+    {
+        return count_ > 1 ?
+            m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
 
     void
     reset()
     {
         count_ = 0;
-        sum_ = min_ = max_ = 0.0;
+        sum_ = min_ = max_ = mean_ = m2_ = 0.0;
     }
 
   private:
@@ -48,6 +67,8 @@ class RunningStat
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
 };
 
 /** Fixed-bucket histogram over [lo, hi); out-of-range samples clamp. */
@@ -63,9 +84,16 @@ class Histogram
         CSIM_ASSERT(hi > lo);
     }
 
+    /**
+     * Add a sample. NaN samples are rejected (dropped without
+     * counting): the cast below would otherwise bucket them
+     * arbitrarily, silently skewing the distribution.
+     */
     void
     add(double x, std::uint64_t weight = 1)
     {
+        if (std::isnan(x))
+            return;
         double t = (x - lo_) / (hi_ - lo_);
         auto idx = static_cast<long>(t * static_cast<double>(size()));
         if (idx < 0)
@@ -79,6 +107,8 @@ class Histogram
     std::size_t size() const { return counts_.size(); }
     std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
     std::uint64_t total() const { return total_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
 
     /** Fraction of all samples falling in bucket i. */
     double

@@ -9,12 +9,14 @@
 
 #include <cstdint>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "core/machine_config.hh"
 #include "isa/opcode.hh"
+#include "obs/stats_registry.hh"
 
 namespace csim {
 
@@ -30,6 +32,23 @@ class Cluster
         : ports_(ports), windowEntries_(window_entries)
     {}
 
+    /**
+     * Register this cluster's own stats (window entries, per-cycle
+     * occupancy distribution) under the given dotted prefix, e.g.
+     * "sim.cluster0". Optional: an unattached cluster records nothing.
+     */
+    void
+    attachStats(StatsRegistry &registry, const std::string &prefix)
+    {
+        statEntered_ = &registry.addCounter(
+            prefix + ".window.entered",
+            "instructions steered into this window");
+        statOccupancy_ = &registry.addDistribution(
+            prefix + ".window.occupancy", 16, 0.0,
+            static_cast<double>(windowEntries_ + 1),
+            "per-cycle scheduling-window occupancy");
+    }
+
     unsigned windowFree() const { return windowEntries_ - occupancy_; }
     unsigned occupancy() const { return occupancy_; }
 
@@ -39,6 +58,8 @@ class Cluster
     {
         CSIM_ASSERT(occupancy_ < windowEntries_);
         ++occupancy_;
+        if (statEntered_)
+            ++*statEntered_;
     }
 
     /** Queue an instruction that becomes ready at the given cycle. */
@@ -48,10 +69,13 @@ class Cluster
         pending_.emplace(when, id);
     }
 
-    /** Move everything ready by `now` into the issuable set. */
+    /** Move everything ready by `now` into the issuable set. Called
+     *  once per cycle, so it doubles as the occupancy sample point. */
     void
     promoteReady(Cycle now)
     {
+        if (statOccupancy_)
+            statOccupancy_->add(static_cast<double>(occupancy_));
         while (!pending_.empty() && pending_.top().first <= now) {
             readyNow_.push_back(pending_.top().second);
             pending_.pop();
@@ -109,6 +133,8 @@ class Cluster
     ClusterPorts ports_;
     unsigned windowEntries_;
     unsigned occupancy_ = 0;
+    Counter *statEntered_ = nullptr;
+    Histogram *statOccupancy_ = nullptr;
     std::priority_queue<PendingEntry, std::vector<PendingEntry>,
                         std::greater<>> pending_;
     std::vector<InstId> readyNow_;

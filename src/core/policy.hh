@@ -18,6 +18,8 @@
 
 namespace csim {
 
+class StatsRegistry;
+
 /** Read-only machine state offered to policies during steering. */
 class CoreView
 {
@@ -83,6 +85,16 @@ class SteeringPolicy
     virtual SteerDecision steer(const CoreView &view,
                                 const SteerRequest &req) = 0;
 
+    /**
+     * Register the policy's counters with the run's stats registry.
+     * Called once per TimingSim construction; a policy reused across
+     * runs is re-bound to each new run's registry.
+     */
+    virtual void registerStats(StatsRegistry &registry)
+    {
+        (void)registry;
+    }
+
     /** The core placed req on decision.cluster. */
     virtual void
     notifySteered(const CoreView &view, const SteerRequest &req,
@@ -117,6 +129,12 @@ class SchedulingPolicy
 
     virtual std::uint32_t priorityClass(const TraceRecord &rec) = 0;
 
+    /** See SteeringPolicy::registerStats. */
+    virtual void registerStats(StatsRegistry &registry)
+    {
+        (void)registry;
+    }
+
     virtual const char *name() const = 0;
 };
 
@@ -127,6 +145,12 @@ class CommitListener
     virtual ~CommitListener() = default;
 
     virtual void onCommit(const CoreView &view, InstId id) = 0;
+
+    /** See SteeringPolicy::registerStats. */
+    virtual void registerStats(StatsRegistry &registry)
+    {
+        (void)registry;
+    }
 
     /** The run finished; flush any partial state. */
     virtual void onRunEnd(const CoreView &view) { (void)view; }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/stats_registry.hh"
 
 namespace csim {
 
@@ -64,6 +65,14 @@ struct SimResult
     std::uint64_t globalValues = 0;
     /** Cycles the steering stage spent stalled by policy choice. */
     std::uint64_t steerStallCycles = 0;
+
+    /**
+     * Frozen stats-registry view of the run: every counter,
+     * distribution and formula registered by the core, the policies
+     * and the predictors. globalValues/steerStallCycles above are
+     * convenience copies of "sim.globalValues"/"steer.stallCycles".
+     */
+    StatsSnapshot stats;
 
     /**
      * ILP capture (Fig. 15): index a = available ILP that cycle;

@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 
 namespace csim {
+
+namespace {
+
+/** Dotted-name segment for a steering outcome. */
+const char *
+steerReasonStatName(SteerReason reason)
+{
+    switch (reason) {
+      case SteerReason::Monolithic: return "monolithic";
+      case SteerReason::NoProducer: return "noProducer";
+      case SteerReason::Collocated: return "collocated";
+      case SteerReason::LoadBalanced: return "loadBalanced";
+      case SteerReason::ProactiveLB: return "proactiveLb";
+      default:
+        CSIM_PANIC("steerReasonStatName: bad reason");
+    }
+}
+
+constexpr std::size_t numSteerReasons = 5;
+
+} // anonymous namespace
 
 TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
                      SteeringPolicy &steering,
@@ -29,6 +51,120 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
     if (options_.collectIlp) {
         ilpCycles_.resize(options_.ilpMaxAvailable + 1, 0);
         ilpIssuedSum_.resize(options_.ilpMaxAvailable + 1, 0);
+    }
+
+    registerCoreStats();
+    for (unsigned c = 0; c < config.numClusters; ++c)
+        clusters_[c].attachStats(registry_,
+                                 "sim.cluster" + std::to_string(c));
+    steering_.registerStats(registry_);
+    scheduling_.registerStats(registry_);
+    if (listener_)
+        listener_->registerStats(registry_);
+}
+
+void
+TimingSim::registerCoreStats()
+{
+    statCycles_ = &registry_.addCounter(
+        "sim.cycles", "total simulated cycles");
+    statInstructions_ = &registry_.addCounter(
+        "sim.instructions", "committed instructions");
+    statGlobalValues_ = &registry_.addCounter(
+        "sim.globalValues",
+        "distinct (value, remote cluster) deliveries over the bypass");
+    statSteerStallCycles_ = &registry_.addCounter(
+        "steer.stallCycles",
+        "cycles the steer stage stalled by policy choice");
+    statRobFullCycles_ = &registry_.addCounter(
+        "steer.robFullCycles", "cycles steering blocked on a full ROB");
+    statAllWindowsFullCycles_ = &registry_.addCounter(
+        "steer.windowFullCycles",
+        "cycles steering blocked with every cluster window full");
+    statFetchStallCycles_ = &registry_.addCounter(
+        "fetch.stallCycles",
+        "cycles fetch stalled on an unresolved mispredicted branch");
+    statPortStarvedEvents_ = &registry_.addCounter(
+        "sched.replayEvents",
+        "ready instructions denied issue by port limits (inst-cycles)");
+    statPriorityInversions_ = &registry_.addCounter(
+        "sched.priorityInversions",
+        "issues that bypassed a denied higher-priority instruction");
+    statFwdDyadic_ = &registry_.addCounter(
+        "fwd.cause.dyadic",
+        "bypass deliveries to consumers with split producers");
+
+    statSteerReason_.resize(numSteerReasons);
+    statFwdCause_.resize(numSteerReasons);
+    for (std::size_t r = 0; r < numSteerReasons; ++r) {
+        const std::string reason =
+            steerReasonStatName(static_cast<SteerReason>(r));
+        statSteerReason_[r] = &registry_.addCounter(
+            "steer.reason." + reason,
+            "instructions steered with outcome " + reason);
+        statFwdCause_[r] = &registry_.addCounter(
+            "fwd.cause." + reason,
+            "bypass deliveries to consumers steered as " + reason);
+    }
+
+    const Counter *cycles = statCycles_;
+    const Counter *insts = statInstructions_;
+    const Counter *globals = statGlobalValues_;
+    registry_.addFormula(
+        "sim.cpi",
+        [cycles, insts] {
+            return insts->value() ?
+                static_cast<double>(cycles->value()) /
+                static_cast<double>(insts->value()) : 0.0;
+        },
+        "cycles per committed instruction");
+    registry_.addFormula(
+        "sim.ipc",
+        [cycles, insts] {
+            return cycles->value() ?
+                static_cast<double>(insts->value()) /
+                static_cast<double>(cycles->value()) : 0.0;
+        },
+        "committed instructions per cycle");
+    registry_.addFormula(
+        "sim.globalValuesPerInst",
+        [globals, insts] {
+            return insts->value() ?
+                static_cast<double>(globals->value()) /
+                static_cast<double>(insts->value()) : 0.0;
+        },
+        "bypass deliveries per committed instruction");
+
+    clusterStats_.resize(config_.numClusters);
+    for (unsigned c = 0; c < config_.numClusters; ++c) {
+        const std::string prefix = "sim.cluster" + std::to_string(c);
+        ClusterStats &cs = clusterStats_[c];
+        cs.steered = &registry_.addCounter(
+            prefix + ".steered", "instructions steered to this cluster");
+        cs.windowFullDiverts = &registry_.addCounter(
+            prefix + ".steer.windowFullDiverts",
+            "steers diverted elsewhere because this window was full");
+        cs.intIssued = &registry_.addCounter(
+            prefix + ".issue.int", "instructions issued on int ports");
+        cs.fpIssued = &registry_.addCounter(
+            prefix + ".issue.fp", "instructions issued on fp ports");
+        cs.memIssued = &registry_.addCounter(
+            prefix + ".issue.mem", "instructions issued on mem ports");
+
+        const Counter *ints = cs.intIssued;
+        const Counter *fps = cs.fpIssued;
+        const Counter *mems = cs.memIssued;
+        const double width = config_.cluster.issueWidth;
+        registry_.addFormula(
+            prefix + ".issue.utilization",
+            [cycles, ints, fps, mems, width] {
+                const double issued = static_cast<double>(
+                    ints->value() + fps->value() + mems->value());
+                const double slots =
+                    static_cast<double>(cycles->value()) * width;
+                return slots > 0.0 ? issued / slots : 0.0;
+            },
+            "fraction of issue slots used");
     }
 }
 
@@ -80,13 +216,18 @@ TimingSim::availTime(InstId producer, ClusterId consumer_cluster,
 }
 
 void
-TimingSim::noteGlobalDelivery(InstId producer, ClusterId consumer_cluster)
+TimingSim::noteGlobalDelivery(InstId producer, InstId consumer,
+                              ClusterId consumer_cluster)
 {
     const std::uint16_t bit =
         static_cast<std::uint16_t>(1u << consumer_cluster);
     if (!(deliveredMask_[producer] & bit)) {
         deliveredMask_[producer] |= bit;
-        ++globalValues_;
+        ++*statGlobalValues_;
+        const InstTiming &ct = timing_[consumer];
+        ++*statFwdCause_[static_cast<std::size_t>(ct.reason)];
+        if (ct.dyadicSplit)
+            ++*statFwdDyadic_;
     }
 }
 
@@ -95,8 +236,10 @@ TimingSim::run()
 {
     const std::uint64_t n = trace_.size();
     SimResult result;
-    if (n == 0)
+    if (n == 0) {
+        result.stats = registry_.snapshot();
         return result;
+    }
 
     steering_.reset(*this, n);
 
@@ -146,9 +289,12 @@ TimingSim::run()
     // zero-based).
     result.cycles = timing_[n - 1].commit + 1;
     result.instructions = n;
+    statCycles_->set(result.cycles);
+    statInstructions_->set(n);
+    result.globalValues = statGlobalValues_->value();
+    result.steerStallCycles = statSteerStallCycles_->value();
+    result.stats = registry_.snapshot();
     result.timing = std::move(timing_);
-    result.globalValues = globalValues_;
-    result.steerStallCycles = steerStallCycles_;
     result.ilpCycles = std::move(ilpCycles_);
     result.ilpIssuedSum = std::move(ilpIssuedSum_);
     return result;
@@ -176,6 +322,7 @@ TimingSim::doIssue()
         Cluster::PortUse ports;
         std::vector<InstId> leftover;
         leftover.reserve(ready.size());
+        ClusterStats &cs = clusterStats_[ci];
 
         for (InstId id : ready) {
             const TraceRecord &rec = trace_[id];
@@ -191,6 +338,17 @@ TimingSim::doIssue()
             t.complete = now_ + rec.execLat;
             cluster.exitWindow();
             ++issued_total;
+            if (isIntClass(rec.cls))
+                ++*cs.intIssued;
+            else if (isFpClass(rec.cls))
+                ++*cs.fpIssued;
+            else
+                ++*cs.memIssued;
+            // The select loop walks in priority order, so issuing past
+            // an already-denied instruction is a priority inversion
+            // (a port-class conflict let a lower-priority op through).
+            if (!leftover.empty())
+                ++*statPriorityInversions_;
 
             if (fetchStalled_ && id == fetchStallBranch_)
                 fetchResume_ = t.complete + 1;
@@ -203,7 +361,7 @@ TimingSim::doIssue()
                 const Cycle avail =
                     t.complete + (cross ? config_.fwdLatency : 0);
                 if (cross) {
-                    noteGlobalDelivery(id, wc);
+                    noteGlobalDelivery(id, w.id, wc);
                     timing_[w.id].crossMask |=
                         static_cast<std::uint8_t>(1u << w.slot);
                 }
@@ -218,6 +376,7 @@ TimingSim::doIssue()
             waiters_[id].clear();
         }
 
+        *statPortStarvedEvents_ += leftover.size();
         ready.swap(leftover);
     }
 
@@ -240,6 +399,9 @@ TimingSim::doCommit()
         if (t.complete == invalidCycle || t.complete >= now_)
             break;
         t.commit = now_;
+        if (options_.pipeTracer)
+            options_.pipeTracer->onRetire(commitIdx_, trace_[commitIdx_],
+                                          t);
         if (listener_)
             listener_->onCommit(*this, commitIdx_);
         steering_.notifyCommit(*this, commitIdx_, trace_[commitIdx_]);
@@ -260,20 +422,24 @@ TimingSim::doSteer()
             break;  // not yet fetched
         if (t.fetch + config_.frontendDepth > now_)
             break;  // still in the front-end pipeline
-        if (steerIdx_ - commitIdx_ >= config_.robEntries)
+        if (steerIdx_ - commitIdx_ >= config_.robEntries) {
+            ++*statRobFullCycles_;
             break;  // ROB full
+        }
 
         unsigned total_free = 0;
         for (const Cluster &cluster : clusters_)
             total_free += cluster.windowFree();
-        if (total_free == 0)
+        if (total_free == 0) {
+            ++*statAllWindowsFullCycles_;
             break;  // every window full: structural stall
+        }
 
         const TraceRecord &rec = trace_[id];
         SteerRequest req{id, &rec};
         SteerDecision d = steering_.steer(*this, req);
         if (d.stall) {
-            ++steerStallCycles_;
+            ++*statSteerStallCycles_;
             break;  // policy chose to stall; in-order steering blocks
         }
 
@@ -288,6 +454,12 @@ TimingSim::doSteer()
         t.dyadicSplit = d.dyadicSplit;
         t.predictedCritical = d.predictedCritical;
         t.locLevel = d.locLevel;
+
+        ++*statSteerReason_[static_cast<std::size_t>(d.reason)];
+        ++*clusterStats_[d.cluster].steered;
+        if (d.reason == SteerReason::LoadBalanced &&
+            d.desired != invalidCluster && d.desired != d.cluster)
+            ++*clusterStats_[d.desired].windowFullDiverts;
 
         const std::uint32_t prio = scheduling_.priorityClass(rec);
         prioKey_[id] =
@@ -307,7 +479,7 @@ TimingSim::doSteer()
                 const bool cross = slot != srcSlotMem &&
                     timing_[p].cluster != d.cluster;
                 if (cross) {
-                    noteGlobalDelivery(p, d.cluster);
+                    noteGlobalDelivery(p, id, d.cluster);
                     t.crossMask |=
                         static_cast<std::uint8_t>(1u << slot);
                 }
@@ -342,6 +514,7 @@ TimingSim::doFetch()
             fetchStalled_ = false;
             fetchStallBranch_ = invalidInstId;
         } else {
+            ++*statFetchStallCycles_;
             return;
         }
     }

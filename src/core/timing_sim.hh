@@ -25,9 +25,12 @@
 #include "core/machine_config.hh"
 #include "core/policy.hh"
 #include "core/timing.hh"
+#include "obs/stats_registry.hh"
 #include "trace/trace.hh"
 
 namespace csim {
+
+class PipeTracer;
 
 struct SimOptions
 {
@@ -40,6 +43,12 @@ struct SimOptions
      * instruction (catches policy-induced deadlock in tests).
      */
     unsigned maxCpi = 1000;
+    /**
+     * Optional pipeline event tracer, fed each instruction at commit
+     * (all timestamps final). The tracer's own [startInst, endInst)
+     * window gates the output; the tracer must outlive run().
+     */
+    PipeTracer *pipeTracer = nullptr;
 };
 
 class TimingSim : public CoreView
@@ -88,8 +97,13 @@ class TimingSim : public CoreView
     Cycle availTime(InstId producer, ClusterId consumer_cluster,
                     int slot) const;
 
-    /** Record a cross-cluster value delivery (for the traffic stat). */
-    void noteGlobalDelivery(InstId producer, ClusterId consumer_cluster);
+    /** Record a cross-cluster value delivery (for the traffic stats,
+     *  attributed to the consumer's steering outcome). */
+    void noteGlobalDelivery(InstId producer, InstId consumer,
+                            ClusterId consumer_cluster);
+
+    /** Register the core's counters and formulas with registry_. */
+    void registerCoreStats();
 
     /** Stored by value so callers may pass temporaries. */
     const MachineConfig config_;
@@ -130,10 +144,43 @@ class TimingSim : public CoreView
     static constexpr std::size_t bucketCount = 64;
     std::vector<std::vector<InstId>> buckets_;
 
-    std::uint64_t globalValues_ = 0;
-    std::uint64_t steerStallCycles_ = 0;
     std::vector<std::uint64_t> ilpCycles_;
     std::vector<std::uint64_t> ilpIssuedSum_;
+
+    // ----------------------------------------------------------------
+    // Observability. The registry owns every stat of the run; the core,
+    // the clusters, the policies and the listener register into it at
+    // construction. The raw Counter pointers below are plain handles
+    // into registry_ (stable for its lifetime).
+    StatsRegistry registry_;
+
+    Counter *statCycles_ = nullptr;
+    Counter *statInstructions_ = nullptr;
+    /** Replaces the old ad-hoc globalValues_ member. */
+    Counter *statGlobalValues_ = nullptr;
+    /** Replaces the old ad-hoc steerStallCycles_ member. */
+    Counter *statSteerStallCycles_ = nullptr;
+    Counter *statRobFullCycles_ = nullptr;
+    Counter *statAllWindowsFullCycles_ = nullptr;
+    Counter *statFetchStallCycles_ = nullptr;
+    Counter *statPortStarvedEvents_ = nullptr;
+    Counter *statPriorityInversions_ = nullptr;
+    /** Indexed by SteerReason: why instructions landed where they did. */
+    std::vector<Counter *> statSteerReason_;
+    /** Indexed by the consumer's SteerReason: bypass traffic by cause. */
+    std::vector<Counter *> statFwdCause_;
+    Counter *statFwdDyadic_ = nullptr;
+
+    struct ClusterStats
+    {
+        Counter *steered = nullptr;
+        /** Steers that wanted this cluster but found its window full. */
+        Counter *windowFullDiverts = nullptr;
+        Counter *intIssued = nullptr;
+        Counter *fpIssued = nullptr;
+        Counter *memIssued = nullptr;
+    };
+    std::vector<ClusterStats> clusterStats_;
 };
 
 } // namespace csim

@@ -49,6 +49,29 @@ OnlineCriticalityTrainer::OnlineCriticalityTrainer(
 }
 
 void
+OnlineCriticalityTrainer::registerStats(StatsRegistry &registry)
+{
+    // The trainer's own progress lives in plain members (the counters
+    // predate the registry); expose them as live formulas so snapshots
+    // always see the current values without double bookkeeping.
+    registry.addFormula(
+        "train.chunks", [this] { return static_cast<double>(chunks_); },
+        "commit chunks analysed by the online trainer");
+    registry.addFormula(
+        "train.trainedTotal",
+        [this] { return static_cast<double>(trainedTotal_); },
+        "instructions used to train the criticality predictors");
+    registry.addFormula(
+        "train.trainedCritical",
+        [this] { return static_cast<double>(trainedCritical_); },
+        "training instructions whose E node was chunk-critical");
+    if (critPred_)
+        critPred_->attachStats(registry);
+    if (locPred_)
+        locPred_->attachStats(registry);
+}
+
+void
 OnlineCriticalityTrainer::restart()
 {
     chunkBegin_ = 0;

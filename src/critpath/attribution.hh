@@ -58,6 +58,10 @@ class OnlineCriticalityTrainer : public CommitListener
     void onCommit(const CoreView &view, InstId id) override;
     void onRunEnd(const CoreView &view) override;
 
+    /** Registers the trainer's progress stats (as live formulas over
+     *  its members) and attaches the predictors' counters. */
+    void registerStats(StatsRegistry &registry) override;
+
     std::uint64_t chunksAnalyzed() const { return chunks_; }
     std::uint64_t trainedCritical() const { return trainedCritical_; }
     std::uint64_t trainedTotal() const { return trainedTotal_; }

@@ -125,7 +125,7 @@ namespace {
 void
 accumulate(AggregateResult &agg, std::uint64_t instructions,
            Cycle cycles, const CpBreakdown &bd,
-           std::uint64_t global_values)
+           std::uint64_t global_values, const StatsSnapshot &stats)
 {
     agg.instructions += instructions;
     agg.cycles += cycles;
@@ -137,6 +137,7 @@ accumulate(AggregateResult &agg, std::uint64_t instructions,
     agg.fwdEventsDyadic += bd.fwdEventsDyadic;
     agg.fwdEventsOther += bd.fwdEventsOther;
     agg.globalValues += global_values;
+    agg.stats.merge(stats);
 }
 
 } // anonymous namespace
@@ -153,7 +154,7 @@ runAggregate(const std::string &workload, const MachineConfig &machine,
         Trace trace = buildAnnotatedTrace(workload, wcfg);
         PolicyRun run = runPolicy(trace, machine, kind, cfg);
         accumulate(agg, run.sim.instructions, run.sim.cycles,
-                   run.breakdown, run.sim.globalValues);
+                   run.breakdown, run.sim.globalValues, run.sim.stats);
     }
     return agg;
 }
@@ -204,8 +205,10 @@ runIdealAggregate(const std::string &workload,
         ListSchedResult sched =
             listSchedule(trace, ref_run.timing, machine, opts);
         CpBreakdown empty;
+        // The list scheduler has no registry of its own; keep the
+        // reference run's snapshot so ideal cells still carry stats.
         accumulate(agg, sched.instructions, sched.cycles, empty,
-                   sched.globalValues);
+                   sched.globalValues, ref_run.stats);
     }
     return agg;
 }

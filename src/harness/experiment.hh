@@ -66,6 +66,9 @@ struct AggregateResult
     std::uint64_t fwdEventsDyadic = 0;
     std::uint64_t fwdEventsOther = 0;
     std::uint64_t globalValues = 0;
+    /** Merged registry snapshots from all seeds' measured runs
+     *  (counters summed, formulas seed-averaged). */
+    StatsSnapshot stats;
 
     double
     cpi() const

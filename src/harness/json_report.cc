@@ -1,0 +1,341 @@
+#include "harness/json_report.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+
+namespace csim {
+
+JsonWriter::JsonWriter(std::ostream &out)
+    : out_(out)
+{
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            out_ << ',';
+        hasElement_.back() = true;
+    }
+}
+
+void
+JsonWriter::writeEscaped(const std::string &s)
+{
+    out_ << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out_ << "\\\""; break;
+          case '\\': out_ << "\\\\"; break;
+          case '\n': out_ << "\\n"; break;
+          case '\t': out_ << "\\t"; break;
+          case '\r': out_ << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out_ << buf;
+            } else {
+                out_ << c;
+            }
+        }
+    }
+    out_ << '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ << '{';
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    CSIM_ASSERT(!hasElement_.empty() && !pendingKey_);
+    hasElement_.pop_back();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ << '[';
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    CSIM_ASSERT(!hasElement_.empty() && !pendingKey_);
+    hasElement_.pop_back();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    CSIM_ASSERT(!pendingKey_);
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            out_ << ',';
+        hasElement_.back() = true;
+    }
+    writeEscaped(name);
+    out_ << ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    writeEscaped(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        out_ << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    beforeValue();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ << "null";
+    return *this;
+}
+
+void
+writeStatValue(JsonWriter &w, const StatValue &v)
+{
+    if (v.kind != StatKind::Distribution) {
+        w.value(v.value);
+        return;
+    }
+    w.beginObject();
+    w.key("lo").value(v.lo);
+    w.key("hi").value(v.hi);
+    w.key("total").value(v.value);
+    w.key("buckets").beginArray();
+    for (std::uint64_t b : v.buckets)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeSnapshot(JsonWriter &w, const StatsSnapshot &snap)
+{
+    w.beginObject();
+    for (const auto &[name, val] : snap.entries()) {
+        w.key(name);
+        writeStatValue(w, val);
+    }
+    w.endObject();
+}
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string &benchmark, const char *bad_arg)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--json <path>] [--instructions N] "
+                 "[--seeds a,b,c]\n",
+                 benchmark.c_str());
+    if (bad_arg)
+        CSIM_FATAL_F("%s: unknown or incomplete argument '%s'",
+                     benchmark.c_str(), bad_arg);
+    std::exit(0);
+}
+
+std::vector<std::uint64_t>
+parseSeedList(const std::string &benchmark, const std::string &arg)
+{
+    std::vector<std::uint64_t> seeds;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+        std::size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        const std::string tok = arg.substr(pos, comma - pos);
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+        if (tok.empty() || end == nullptr || *end != '\0')
+            CSIM_FATAL_F("%s: bad --seeds entry '%s'",
+                         benchmark.c_str(), tok.c_str());
+        seeds.push_back(v);
+        pos = comma + 1;
+    }
+    return seeds;
+}
+
+} // anonymous namespace
+
+BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
+    : benchmark_(std::move(benchmark))
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(benchmark_, arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            jsonPath_ = next();
+        } else if (arg == "--instructions") {
+            const std::string v = next();
+            char *end = nullptr;
+            instructions_ = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || instructions_ == 0)
+                CSIM_FATAL_F("%s: bad --instructions '%s'",
+                             benchmark_.c_str(), v.c_str());
+        } else if (arg == "--seeds") {
+            seeds_ = parseSeedList(benchmark_, next());
+        } else if (arg == "--help" || arg == "-h") {
+            usage(benchmark_, nullptr);
+        } else {
+            usage(benchmark_, arg.c_str());
+        }
+    }
+}
+
+void
+BenchContext::apply(ExperimentConfig &cfg) const
+{
+    if (instructions_ != 0)
+        cfg.instructions = instructions_;
+    if (!seeds_.empty())
+        cfg.seeds = seeds_;
+}
+
+void
+BenchContext::addGrid(const FigureGrid &grid)
+{
+    grids_.push_back(grid);
+}
+
+void
+BenchContext::addRunStats(const std::string &label,
+                          const StatsSnapshot &s)
+{
+    runs_.emplace_back(label, s);
+}
+
+void
+BenchContext::addScalar(const std::string &name, double value)
+{
+    scalars_.emplace_back(name, value);
+}
+
+int
+BenchContext::finish() const
+{
+    if (jsonPath_.empty())
+        return 0;
+
+    std::ofstream out(jsonPath_);
+    if (!out)
+        CSIM_FATAL_F("%s: cannot open --json path '%s'",
+                     benchmark_.c_str(), jsonPath_.c_str());
+
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schemaVersion").value(1);
+    w.key("benchmark").value(benchmark_);
+
+    w.key("grids").beginArray();
+    for (const FigureGrid &g : grids_)
+        g.toJson(w);
+    w.endArray();
+
+    w.key("scalars").beginObject();
+    for (const auto &[name, v] : scalars_)
+        w.key(name).value(v);
+    w.endObject();
+
+    w.key("runs").beginArray();
+    for (const auto &[label, snap] : runs_) {
+        w.beginObject();
+        w.key("label").value(label);
+        w.key("stats");
+        writeSnapshot(w, snap);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    out << '\n';
+    out.close();
+    if (!out)
+        CSIM_FATAL_F("%s: failed writing '%s'", benchmark_.c_str(),
+                     jsonPath_.c_str());
+    std::fprintf(stderr, "wrote %s\n", jsonPath_.c_str());
+    return 0;
+}
+
+} // namespace csim

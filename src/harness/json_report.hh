@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Machine-readable experiment output.
+ *
+ * JsonWriter is a tiny streaming JSON emitter (no external deps);
+ * BenchContext is the shared command-line front end of every bench
+ * binary: it parses `--json <path>`, `--instructions N` and
+ * `--seeds a,b,c`, collects FigureGrids, scalars and per-run registry
+ * snapshots while the bench runs, and on finish() writes one report
+ * file with a stable schema (see README "Observability"):
+ *
+ *   {
+ *     "schemaVersion": 1,
+ *     "benchmark": "<name>",
+ *     "grids":   [{"title", "columns", "rows", "averages"}, ...],
+ *     "scalars": {"<name>": <number>, ...},
+ *     "runs":    [{"label": "<wl/machine/policy>",
+ *                  "stats": {"<stat>": <number> | {distribution}}}]
+ *   }
+ *
+ * tools/check_bench_json.py validates this schema in CI.
+ */
+
+#ifndef CSIM_HARNESS_JSON_REPORT_HH
+#define CSIM_HARNESS_JSON_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/report.hh"
+#include "obs/stats_registry.hh"
+
+namespace csim {
+
+struct ExperimentConfig;
+
+/**
+ * Minimal streaming JSON writer. The caller drives the structure
+ * (beginObject/key/value/...); the writer tracks comma placement and
+ * indentation. Doubles print with %.12g; NaN and infinities become
+ * null (JSON has no encoding for them).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+  private:
+    void beforeValue();
+    void writeEscaped(const std::string &s);
+
+    std::ostream &out_;
+    /** One frame per open container: true once it holds an element. */
+    std::vector<bool> hasElement_;
+    bool pendingKey_ = false;
+};
+
+/** Serialize one frozen stat (scalar or distribution payload). */
+void writeStatValue(JsonWriter &w, const StatValue &v);
+
+/** Serialize a whole snapshot as an object keyed by stat name. */
+void writeSnapshot(JsonWriter &w, const StatsSnapshot &snap);
+
+/**
+ * Shared bench command line + JSON report accumulator.
+ *
+ * Usage in a bench main():
+ *
+ *   BenchContext ctx("bench_fig14_policies", argc, argv);
+ *   ctx.apply(cfg);              // --instructions / --seeds overrides
+ *   ...
+ *   ctx.addGrid(grid);
+ *   ctx.addRunStats("gcc/4x2w/focused", agg.stats);
+ *   return ctx.finish();         // writes --json file when requested
+ */
+class BenchContext
+{
+  public:
+    /** Parses argv; unknown flags are fatal (prints usage first). */
+    BenchContext(std::string benchmark, int argc, char **argv);
+
+    /** Apply --instructions / --seeds overrides to a config. */
+    void apply(ExperimentConfig &cfg) const;
+
+    bool jsonRequested() const { return !jsonPath_.empty(); }
+    const std::string &jsonPath() const { return jsonPath_; }
+
+    /** Record a finished grid (copied; call after the grid is full). */
+    void addGrid(const FigureGrid &grid);
+
+    /** Record one aggregate cell's merged registry snapshot. */
+    void addRunStats(const std::string &label, const StatsSnapshot &s);
+
+    /** Record a loose named number (model params, derived metrics). */
+    void addScalar(const std::string &name, double value);
+
+    /** Write the JSON report if --json was given; returns exit code. */
+    int finish() const;
+
+  private:
+    std::string benchmark_;
+    std::string jsonPath_;
+    std::uint64_t instructions_ = 0;      ///< 0: keep bench default
+    std::vector<std::uint64_t> seeds_;    ///< empty: keep bench default
+    std::vector<FigureGrid> grids_;
+    std::vector<std::pair<std::string, StatsSnapshot>> runs_;
+    std::vector<std::pair<std::string, double>> scalars_;
+};
+
+} // namespace csim
+
+#endif // CSIM_HARNESS_JSON_REPORT_HH

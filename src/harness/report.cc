@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "harness/json_report.hh"
 
 namespace csim {
 
@@ -66,6 +67,61 @@ FigureGrid::str() const
     add_row("AVE", nullptr);
 
     return title_ + "\n" + table.str();
+}
+
+bool
+FigureGrid::has(const std::string &row, const std::string &column) const
+{
+    auto it = cells_.find(row);
+    return it != cells_.end() && it->second.count(column);
+}
+
+double
+FigureGrid::at(const std::string &row, const std::string &column) const
+{
+    auto it = cells_.find(row);
+    if (it == cells_.end())
+        CSIM_PANIC_F("FigureGrid: unknown row '%s'", row.c_str());
+    auto jt = it->second.find(column);
+    if (jt == it->second.end())
+        CSIM_PANIC_F("FigureGrid: no cell ('%s', '%s')", row.c_str(),
+                     column.c_str());
+    return jt->second;
+}
+
+void
+FigureGrid::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("title").value(title_);
+
+    w.key("columns").beginArray();
+    for (const std::string &c : columns_)
+        w.value(c);
+    w.endArray();
+
+    w.key("rows").beginArray();
+    for (const std::string &row : rowOrder_) {
+        w.beginObject();
+        w.key("name").value(row);
+        w.key("cells").beginObject();
+        const auto &vals = cells_.at(row);
+        for (const std::string &c : columns_) {
+            auto it = vals.find(c);
+            if (it != vals.end())
+                w.key(c).value(it->second);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("averages").beginObject();
+    for (const std::string &c : columns_)
+        w.key(c).value(columnAverage(c));
+    w.endObject();
+
+    w.endObject();
 }
 
 double

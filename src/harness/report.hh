@@ -14,6 +14,8 @@
 
 namespace csim {
 
+class JsonWriter;
+
 /**
  * A figure-style grid: rows are workloads (plus an AVE row appended
  * automatically), columns are machine configurations / policy bars.
@@ -32,7 +34,16 @@ class FigureGrid
     /** Render with fixed-width columns; values with 3 decimals. */
     std::string str() const;
 
+    /** Emit as one JSON object: title, columns, rows, averages. */
+    void toJson(JsonWriter &w) const;
+
+    const std::string &title() const { return title_; }
     const std::vector<std::string> &columns() const { return columns_; }
+    /** Row names in insertion order (without the synthetic AVE row). */
+    const std::vector<std::string> &rows() const { return rowOrder_; }
+    bool has(const std::string &row, const std::string &column) const;
+    /** Cell value; panics when absent. */
+    double at(const std::string &row, const std::string &column) const;
 
   private:
     std::string title_;

@@ -15,6 +15,7 @@
 #include <algorithm>
 
 #include "core/policy.hh"
+#include "obs/stats_registry.hh"
 #include "predict/criticality_predictor.hh"
 #include "predict/loc_predictor.hh"
 
@@ -45,13 +46,25 @@ class CriticalScheduling : public SchedulingPolicy
     std::uint32_t
     priorityClass(const TraceRecord &rec) override
     {
-        return pred_.predict(rec.pc) ? 0 : 1;
+        const bool critical = pred_.predict(rec.pc);
+        if (statCriticalClassed_ && critical)
+            ++*statCriticalClassed_;
+        return critical ? 0 : 1;
+    }
+
+    void
+    registerStats(StatsRegistry &registry) override
+    {
+        statCriticalClassed_ = &registry.addCounter(
+            "sched.critical.classedCritical",
+            "dispatches classed into the critical priority class");
     }
 
     const char *name() const override { return "critical"; }
 
   private:
     const CriticalityPredictor &pred_;
+    Counter *statCriticalClassed_ = nullptr;
 };
 
 /** Higher likelihood of criticality issues first; ties by age. */
@@ -74,13 +87,24 @@ class LocScheduling : public SchedulingPolicy
         const unsigned level = loc_.level(rec.pc);
         const unsigned top = loc_.levels() - 1;
         const unsigned low = std::max(2u, loc_.levels() / 8);
+        if (statElevated_ && level >= low)
+            ++*statElevated_;
         return level >= low ? top - level : top - low + 1;
+    }
+
+    void
+    registerStats(StatsRegistry &registry) override
+    {
+        statElevated_ = &registry.addCounter(
+            "sched.loc.classedElevated",
+            "dispatches classed above the non-critical mass");
     }
 
     const char *name() const override { return "loc"; }
 
   private:
     const LocPredictor &loc_;
+    Counter *statElevated_ = nullptr;
 };
 
 } // namespace csim

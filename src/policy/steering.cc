@@ -108,6 +108,20 @@ UnifiedSteering::UnifiedSteering(const UnifiedSteeringOptions &options,
 }
 
 void
+UnifiedSteering::registerStats(StatsRegistry &registry)
+{
+    statStallDecisions_ = &registry.addCounter(
+        "steer.policy.stallDecisions",
+        "steers answered with a stall-over-steer decision");
+    statCritKeepVetoes_ = &registry.addCounter(
+        "steer.policy.critKeepVetoes",
+        "proactive pushes vetoed by the binary criticality predictor");
+    statLocKeepOverrides_ = &registry.addCounter(
+        "steer.policy.locKeepOverrides",
+        "proactive pushes vetoed by the LoC override");
+}
+
+void
 UnifiedSteering::reset(const CoreView &view, std::size_t trace_size)
 {
     (void)view;
@@ -251,8 +265,19 @@ UnifiedSteering::steer(const CoreView &view, const SteerRequest &req)
         // distribution); the 6-bit binary predictor's +8/-1 hysteresis
         // is sticky, so use it as a stable veto: never push a
         // predicted-critical consumer off its producer.
-        if (critPred_ && critPred_->predict(rec.pc))
+        bool crit_veto = false;
+        if (critPred_ && critPred_->predict(rec.pc)) {
+            crit_veto = !keep;
             keep = true;
+        }
+        if ((candidate || already_followed) && keep) {
+            if (crit_veto) {
+                if (statCritKeepVetoes_)
+                    ++*statCritKeepVetoes_;
+            } else if (statLocKeepOverrides_) {
+                ++*statLocKeepOverrides_;
+            }
+        }
         if ((candidate || already_followed) && !keep) {
             d.cluster = leastLoaded(view);
             if (d.cluster != prod.cluster) {
@@ -282,6 +307,8 @@ UnifiedSteering::steer(const CoreView &view, const SteerRequest &req)
         stallClass_[lbIndex(rec.pc)].atLeast(2) &&
         view.timingOf(prod.id).complete == invalidCycle) {
         d.stall = true;
+        if (statStallDecisions_)
+            ++*statStallDecisions_;
         pendingProducer_ = invalidInstId;
         return d;
     }

@@ -17,6 +17,7 @@
 
 #include "common/sat_counter.hh"
 #include "core/policy.hh"
+#include "obs/stats_registry.hh"
 #include "predict/criticality_predictor.hh"
 #include "predict/loc_predictor.hh"
 
@@ -98,6 +99,7 @@ class UnifiedSteering : public SteeringPolicy
     void reset(const CoreView &view, std::size_t trace_size) override;
     SteerDecision steer(const CoreView &view,
                         const SteerRequest &req) override;
+    void registerStats(StatsRegistry &registry) override;
     void notifySteered(const CoreView &view, const SteerRequest &req,
                        const SteerDecision &decision) override;
     void notifyCommit(const CoreView &view, InstId id,
@@ -131,6 +133,14 @@ class UnifiedSteering : public SteeringPolicy
 
     static constexpr unsigned lbTableBits = 12;
     std::size_t lbIndex(Addr pc) const;
+
+    // --- registered stats (rebound per run; null until attached) ---
+    /** Times the policy chose to stall rather than steer away. */
+    Counter *statStallDecisions_ = nullptr;
+    /** Proactive pushes vetoed by the sticky binary predictor. */
+    Counter *statCritKeepVetoes_ = nullptr;
+    /** Proactive pushes vetoed by the LoC override. */
+    Counter *statLocKeepOverrides_ = nullptr;
 };
 
 } // namespace csim

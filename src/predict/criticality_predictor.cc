@@ -31,6 +31,21 @@ void
 CriticalityPredictor::train(Addr pc, bool critical)
 {
     table_[index(pc)].train(critical);
+    if (statTrains_) {
+        ++*statTrains_;
+        if (critical)
+            ++*statTrainCritical_;
+    }
+}
+
+void
+CriticalityPredictor::attachStats(StatsRegistry &registry)
+{
+    statTrains_ = &registry.addCounter(
+        "predict.crit.trains", "binary predictor training events");
+    statTrainCritical_ = &registry.addCounter(
+        "predict.crit.trainsCritical",
+        "binary training events with a critical outcome");
 }
 
 unsigned

@@ -15,6 +15,7 @@
 
 #include "common/sat_counter.hh"
 #include "common/types.hh"
+#include "obs/stats_registry.hh"
 
 namespace csim {
 
@@ -39,6 +40,10 @@ class CriticalityPredictor
     /** Train with one dynamic instance's detected criticality. */
     void train(Addr pc, bool critical);
 
+    /** Register training counters with a run's registry (rebindable;
+     *  the predictor counts nothing until attached). */
+    void attachStats(StatsRegistry &registry);
+
     /** Raw counter value (tests and diagnostics). */
     unsigned counterValue(Addr pc) const;
 
@@ -50,6 +55,9 @@ class CriticalityPredictor
     Params params_;
     std::size_t mask_;
     std::vector<SatCounter> table_;
+
+    Counter *statTrains_ = nullptr;
+    Counter *statTrainCritical_ = nullptr;
 };
 
 } // namespace csim

@@ -38,6 +38,21 @@ void
 LocPredictor::train(Addr pc, bool critical)
 {
     table_[index(pc)].train(critical, rng_);
+    if (statTrains_) {
+        ++*statTrains_;
+        if (critical)
+            ++*statTrainCritical_;
+    }
+}
+
+void
+LocPredictor::attachStats(StatsRegistry &registry)
+{
+    statTrains_ = &registry.addCounter(
+        "predict.loc.trains", "LoC predictor training events");
+    statTrainCritical_ = &registry.addCounter(
+        "predict.loc.trainsCritical",
+        "LoC training events with a critical outcome");
 }
 
 void

@@ -16,6 +16,7 @@
 #include "common/prob_counter.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "obs/stats_registry.hh"
 
 namespace csim {
 
@@ -41,6 +42,10 @@ class LocPredictor
     /** Train with one dynamic instance's detected criticality. */
     void train(Addr pc, bool critical);
 
+    /** Register training counters with a run's registry (rebindable;
+     *  the predictor counts nothing until attached). */
+    void attachStats(StatsRegistry &registry);
+
     unsigned levels() const { return params_.levels; }
 
     void reset();
@@ -52,6 +57,9 @@ class LocPredictor
     std::size_t mask_;
     std::vector<ProbCounter> table_;
     Rng rng_;
+
+    Counter *statTrains_ = nullptr;
+    Counter *statTrainCritical_ = nullptr;
 };
 
 } // namespace csim

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
 #include "common/prob_counter.hh"
 #include "common/rng.hh"
 #include "common/sat_counter.hh"
@@ -232,6 +236,37 @@ TEST(RunningStat, Basics)
     EXPECT_EQ(s.count(), 0u);
 }
 
+TEST(RunningStat, WelfordVarianceAndStddev)
+{
+    RunningStat s;
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // no samples
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // one sample
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    s.add(5.0);
+    // Sample variance (n-1) of {5,2,4,9,5}: mean 5, ssq 26, /4 = 6.5.
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 6.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(6.5));
+    s.reset();
+    s.add(3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // reset clears m2
+}
+
+TEST(RunningStat, WelfordMatchesTwoPassOnLargeOffset)
+{
+    // The naive sum-of-squares formula loses precision with a large
+    // common offset; Welford's update must not.
+    RunningStat s;
+    const double offset = 1e9;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(offset + x);
+    EXPECT_NEAR(s.variance(), 2.5, 1e-6);
+}
+
 TEST(Histogram, BucketsAndClamping)
 {
     Histogram h(10, 0.0, 1.0);
@@ -260,6 +295,24 @@ TEST(Histogram, BucketEdges)
     EXPECT_DOUBLE_EQ(h.bucketLo(3), 3.0);
 }
 
+TEST(Histogram, RejectsNaN)
+{
+    Histogram h(4, 0.0, 4.0);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::quiet_NaN(), 10);
+    EXPECT_EQ(h.total(), 0u);  // dropped, not clamped into a bucket
+    h.add(1.5);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(Histogram, BoundsAccessors)
+{
+    Histogram h(4, -1.0, 3.0);
+    EXPECT_DOUBLE_EQ(h.lo(), -1.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 3.0);
+}
+
 TEST(TextTable, AlignsAndSeparates)
 {
     TextTable t({"a", "bbbb"});
@@ -274,6 +327,46 @@ TEST(Format, Doubles)
 {
     EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
     EXPECT_EQ(formatPercent(0.125, 1), "12.5%");
+}
+
+// ---------------------------------------------------------------- //
+// Logging
+
+TEST(Logging, GlobalLevelRoundTrip)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(saved);
+}
+
+TEST(Logging, LevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "error");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "info");
+    EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
+    EXPECT_STREQ(logLevelName(LogLevel::Trace), "trace");
+}
+
+TEST(Logging, SuppressedBelowLevel)
+{
+    // CSIM_LOG must evaluate its arguments only when enabled.
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Error);
+    int evals = 0;
+    auto bump = [&] { return ++evals; };
+    CSIM_LOG(Debug, "suppressed %d", bump());
+    EXPECT_EQ(evals, 0);
+    setLogLevel(saved);
+}
+
+TEST(LoggingDeathTest, PanicFormats)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(CSIM_PANIC_F("bad value %d", 42), "bad value 42");
 }
 
 } // anonymous namespace

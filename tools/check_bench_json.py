@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a bench binary's --json report against schema version 1.
+
+Usage: check_bench_json.py [--min-stats N] report.json [report2.json ...]
+
+Schema (see src/harness/json_report.hh and README "Observability"):
+
+  {
+    "schemaVersion": 1,
+    "benchmark": "<name>",
+    "grids":   [{"title", "columns", "rows", "averages"}, ...],
+    "scalars": {"<name>": <number>, ...},
+    "runs":    [{"label": str, "stats": {name: num | distribution}}]
+  }
+
+A distribution is {"lo": num, "hi": num, "total": num, "buckets": [ints]}.
+Exits non-zero on the first malformed report.
+"""
+
+import argparse
+import json
+import sys
+
+DIST_KEYS = {"lo", "hi", "total", "buckets"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise SchemaError(msg)
+
+
+def check_number(v, what):
+    # bools are ints in Python; exclude them explicitly.
+    require(isinstance(v, (int, float)) and not isinstance(v, bool),
+            f"{what}: expected a number, got {type(v).__name__}")
+
+
+def check_stat(name, v):
+    if isinstance(v, dict):
+        require(set(v.keys()) == DIST_KEYS,
+                f"stat '{name}': distribution keys {sorted(v.keys())} "
+                f"!= {sorted(DIST_KEYS)}")
+        check_number(v["lo"], f"stat '{name}'.lo")
+        check_number(v["hi"], f"stat '{name}'.hi")
+        check_number(v["total"], f"stat '{name}'.total")
+        require(isinstance(v["buckets"], list),
+                f"stat '{name}': buckets is not a list")
+        for i, b in enumerate(v["buckets"]):
+            require(isinstance(b, int) and not isinstance(b, bool),
+                    f"stat '{name}': bucket[{i}] is not an integer")
+    elif v is not None:  # null encodes NaN/inf formula results
+        check_number(v, f"stat '{name}'")
+
+
+def check_grid(i, g):
+    where = f"grids[{i}]"
+    require(isinstance(g, dict), f"{where}: not an object")
+    for k in ("title", "columns", "rows", "averages"):
+        require(k in g, f"{where}: missing key '{k}'")
+    require(isinstance(g["title"], str), f"{where}: title not a string")
+    require(isinstance(g["columns"], list) and
+            all(isinstance(c, str) for c in g["columns"]),
+            f"{where}: columns must be a list of strings")
+    cols = set(g["columns"])
+    require(isinstance(g["rows"], list), f"{where}: rows not a list")
+    for j, row in enumerate(g["rows"]):
+        require(isinstance(row, dict) and "name" in row and
+                "cells" in row, f"{where}.rows[{j}]: bad row object")
+        require(isinstance(row["name"], str),
+                f"{where}.rows[{j}]: name not a string")
+        for col, v in row["cells"].items():
+            require(col in cols,
+                    f"{where}.rows[{j}]: unknown column '{col}'")
+            check_number(v, f"{where}.rows[{j}].cells['{col}']")
+    require(isinstance(g["averages"], dict),
+            f"{where}: averages not an object")
+    for col, v in g["averages"].items():
+        require(col in cols, f"{where}.averages: unknown column '{col}'")
+        check_number(v, f"{where}.averages['{col}']")
+
+
+def check_report(path, min_stats):
+    with open(path) as f:
+        d = json.load(f)
+
+    require(isinstance(d, dict), "top level is not an object")
+    require(d.get("schemaVersion") == 1,
+            f"schemaVersion {d.get('schemaVersion')!r} != 1")
+    require(isinstance(d.get("benchmark"), str) and d["benchmark"],
+            "benchmark must be a non-empty string")
+    require(isinstance(d.get("grids"), list), "grids is not a list")
+    require(isinstance(d.get("scalars"), dict),
+            "scalars is not an object")
+    require(isinstance(d.get("runs"), list), "runs is not a list")
+
+    for i, g in enumerate(d["grids"]):
+        check_grid(i, g)
+    for name, v in d["scalars"].items():
+        check_number(v, f"scalars['{name}']")
+    for i, run in enumerate(d["runs"]):
+        require(isinstance(run, dict) and
+                isinstance(run.get("label"), str) and
+                isinstance(run.get("stats"), dict),
+                f"runs[{i}]: needs string 'label' and object 'stats'")
+        require(len(run["stats"]) >= min_stats,
+                f"runs[{i}] ('{run['label']}'): only "
+                f"{len(run['stats'])} stats, expected >= {min_stats}")
+        for name, v in run["stats"].items():
+            check_stat(name, v)
+
+    return len(d["grids"]), len(d["runs"]), len(d["scalars"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--min-stats", type=int, default=10,
+                    help="minimum stats required per run entry")
+    ap.add_argument("reports", nargs="+")
+    args = ap.parse_args()
+
+    status = 0
+    for path in args.reports:
+        try:
+            grids, runs, scalars = check_report(path, args.min_stats)
+        except (SchemaError, json.JSONDecodeError, OSError,
+                KeyError, TypeError) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"{path}: OK ({grids} grids, {runs} runs, "
+                  f"{scalars} scalars)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
