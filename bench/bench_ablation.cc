@@ -8,33 +8,62 @@
  *     sweep 10/30/50% on the stall-sensitive programs.
  *  3. Criticality-training chunk size (the sampling granularity of
  *     the emulated detector).
+ *
+ * Each ablation setting becomes a pair of cells (monolithic baseline +
+ * 8x1w) per sample workload, all carrying the setting as a per-cell
+ * config override, so the whole bench is one sweep.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
 namespace {
 
-double
-averageNormCpi(const ExperimentConfig &cfg, unsigned clusters,
-               PolicyKind kind,
-               const std::vector<std::string> &workloads)
+/** The mono/clustered cell pairs of one ablation setting. */
+struct Setting
 {
-    double sum = 0.0;
-    for (const std::string &wl : workloads) {
-        AggregateResult mono = runAggregate(
-            wl, MachineConfig::monolithic(), kind, cfg);
-        AggregateResult clus = runAggregate(
-            wl, MachineConfig::clustered(clusters), kind, cfg);
-        sum += clus.cpi() / mono.cpi();
+    std::vector<std::size_t> monoCells;
+    std::vector<std::size_t> clusCells;
+
+    double
+    averageNormCpi(const SweepOutcome &outcome) const
+    {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < monoCells.size(); ++i)
+            sum += outcome.at(clusCells[i]).cpi() /
+                outcome.at(monoCells[i]).cpi();
+        return sum / static_cast<double>(monoCells.size());
     }
-    return sum / static_cast<double>(workloads.size());
+};
+
+Setting
+addSetting(SweepSpec &spec, const ExperimentConfig &cfg,
+           PolicyKind kind, const std::vector<std::string> &workloads)
+{
+    Setting s;
+    for (const std::string &wl : workloads) {
+        SweepCell mono;
+        mono.workload = wl;
+        mono.machine = MachineConfig::monolithic();
+        mono.policy = kind;
+        mono.cfg = cfg;
+        s.monoCells.push_back(spec.add(std::move(mono)));
+
+        SweepCell clus;
+        clus.workload = wl;
+        clus.machine = MachineConfig::clustered(8);
+        clus.policy = kind;
+        clus.cfg = cfg;
+        s.clusCells.push_back(spec.add(std::move(clus)));
+    }
+    return s;
 }
 
 } // namespace
@@ -46,23 +75,53 @@ main(int argc, char **argv)
     const std::vector<std::string> sample = {"gzip", "vpr", "gap",
                                              "parser", "mcf", "gcc"};
 
+    SweepSpec spec;
+    ExperimentConfig base;
+    base.seeds = {1};
+    ctx.apply(base);
+
+    const unsigned locLevels[] = {2u, 4u, 8u, 16u, 64u, 1024u};
+    std::vector<Setting> locSettings;
+    for (unsigned levels : locLevels) {
+        ExperimentConfig cfg = base;
+        cfg.locLevels = levels;
+        locSettings.push_back(
+            addSetting(spec, cfg, PolicyKind::FocusedLoc, sample));
+    }
+
+    const double thresholds[] = {0.10, 0.30, 0.50};
+    std::vector<Setting> thrSettings;
+    for (double thr : thresholds) {
+        ExperimentConfig cfg = base;
+        cfg.stallThreshold = thr;
+        thrSettings.push_back(addSetting(
+            spec, cfg, PolicyKind::FocusedLocStall, sample));
+    }
+
+    const std::uint64_t chunks[] = {1024ull, 8192ull, 32768ull};
+    std::vector<Setting> chunkSettings;
+    for (std::uint64_t chunk : chunks) {
+        ExperimentConfig cfg = base;
+        cfg.trainChunk = chunk;
+        chunkSettings.push_back(
+            addSetting(spec, cfg, PolicyKind::FocusedLoc, sample));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+
     std::printf("=== Ablation 1: LoC stratification (Sec. 7) ===\n");
     std::printf("(8x1w CPI normalized to 1x8w, focused+LoC "
                 "scheduling, %zu-benchmark sample)\n\n",
                 sample.size());
     std::printf("%8s  %10s\n", "levels", "norm. CPI");
-    for (unsigned levels : {2u, 4u, 8u, 16u, 64u, 1024u}) {
-        ExperimentConfig cfg;
-        cfg.seeds = {1};
-        ctx.apply(cfg);
-        cfg.locLevels = levels;
-        const double cpi = averageNormCpi(cfg, 8,
-                                          PolicyKind::FocusedLoc,
-                                          sample);
-        ctx.addScalar("normCpi.locLevels." + std::to_string(levels),
+    for (std::size_t i = 0; i < locSettings.size(); ++i) {
+        const double cpi = locSettings[i].averageNormCpi(outcome);
+        ctx.addScalar("normCpi.locLevels." +
+                          std::to_string(locLevels[i]),
                       cpi);
-        std::printf("%8u  %10.3f%s\n", levels, cpi,
-                    levels == 16 ? "   <- paper's design point" : "");
+        std::printf("%8u  %10.3f%s\n", locLevels[i], cpi,
+                    locLevels[i] == 16 ? "   <- paper's design point"
+                                       : "");
     }
     std::printf("Paper: 16 levels ~ unlimited precision; 2 levels "
                 "degenerates toward the binary predictor.\n\n");
@@ -70,13 +129,9 @@ main(int argc, char **argv)
     std::printf("=== Ablation 2: stall-over-steer threshold ===\n");
     std::printf("(8x1w, focused+loc+stall)\n\n");
     std::printf("%10s  %10s\n", "threshold", "norm. CPI");
-    for (double thr : {0.10, 0.30, 0.50}) {
-        ExperimentConfig cfg;
-        cfg.seeds = {1};
-        ctx.apply(cfg);
-        cfg.stallThreshold = thr;
-        const double cpi = averageNormCpi(
-            cfg, 8, PolicyKind::FocusedLocStall, sample);
+    for (std::size_t i = 0; i < thrSettings.size(); ++i) {
+        const double thr = thresholds[i];
+        const double cpi = thrSettings[i].averageNormCpi(outcome);
         ctx.addScalar("normCpi.stallThreshold." +
                           std::to_string(static_cast<int>(thr * 100)),
                       cpi);
@@ -92,19 +147,14 @@ main(int argc, char **argv)
     std::printf("(8x1w, focused+loc; emulates the detector's "
                 "sampling scope)\n\n");
     std::printf("%8s  %10s\n", "chunk", "norm. CPI");
-    for (std::uint64_t chunk : {1024ull, 8192ull, 32768ull}) {
-        ExperimentConfig cfg;
-        cfg.seeds = {1};
-        ctx.apply(cfg);
-        cfg.trainChunk = chunk;
-        const double cpi = averageNormCpi(cfg, 8,
-                                          PolicyKind::FocusedLoc,
-                                          sample);
-        ctx.addScalar("normCpi.trainChunk." + std::to_string(chunk),
+    for (std::size_t i = 0; i < chunkSettings.size(); ++i) {
+        const double cpi = chunkSettings[i].averageNormCpi(outcome);
+        ctx.addScalar("normCpi.trainChunk." +
+                          std::to_string(chunks[i]),
                       cpi);
         std::printf("%8llu  %10.3f%s\n",
-                    static_cast<unsigned long long>(chunk), cpi,
-                    chunk == 8192 ? "   <- default" : "");
+                    static_cast<unsigned long long>(chunks[i]), cpi,
+                    chunks[i] == 8192 ? "   <- default" : "");
     }
     return ctx.finish();
 }

@@ -10,11 +10,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "policy/extra_steering.hh"
 #include "policy/scheduling.hh"
 
@@ -24,64 +25,95 @@ int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_cluster_sweep", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
+
+    // Focus on the low-ILP programs the observation concerns.
+    const std::vector<std::string> lows = {"gzip", "mcf", "parser",
+                                           "gap"};
+    const unsigned ns[] = {2u, 4u, 8u, 16u};
+
+    // Modes 0/1 are standard policy cells; mode 2 (adaptive
+    // active-cluster steering) has no PolicyKind, so it runs on the
+    // raw parallelFor with the same shared trace cache.
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    std::vector<std::size_t> baseCells;
+    // policyCells[wl][mode 0/1][n-index]
+    std::vector<std::vector<std::vector<std::size_t>>> policyCells;
+    for (const std::string &wl : lows) {
+        baseCells.push_back(spec.addTiming(
+            wl, MachineConfig::monolithic(), PolicyKind::FocusedLoc));
+        std::vector<std::vector<std::size_t>> modes(2);
+        for (int mode = 0; mode < 2; ++mode)
+            for (unsigned n : ns)
+                modes[mode].push_back(spec.addTiming(
+                    wl, MachineConfig::generic(n, 1),
+                    mode == 0 ? PolicyKind::Focused
+                              : PolicyKind::FocusedLocStall));
+        policyCells.push_back(std::move(modes));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
+
+    // Adaptive cells: one job per (workload, cluster count); each job
+    // walks its seeds in order, so the per-job CPI is deterministic
+    // and the table below reads the slots in declaration order.
+    struct AdaptiveJob
+    {
+        std::size_t wl;
+        unsigned n;
+        double cpi = 0.0;
+    };
+    std::vector<AdaptiveJob> adaptive;
+    for (std::size_t w = 0; w < lows.size(); ++w)
+        for (unsigned n : ns)
+            adaptive.push_back({w, n, 0.0});
+    SweepRunner &runner = ctx.runner();
+    runner.parallelFor(adaptive.size(), [&](std::size_t i) {
+        AdaptiveJob &job = adaptive[i];
+        double cycles = 0.0, instrs = 0.0;
+        for (std::uint64_t seed : spec.cfg.seeds) {
+            WorkloadConfig wcfg;
+            wcfg.targetInstructions = spec.cfg.instructions;
+            wcfg.seed = seed;
+            std::shared_ptr<const Trace> trace =
+                runner.cache().get(lows[job.wl], wcfg);
+            AdaptiveClusterSteering steer;
+            AgeScheduling age;
+            SimResult res =
+                TimingSim(MachineConfig::generic(job.n, 1), *trace,
+                          steer, age).run();
+            cycles += static_cast<double>(res.cycles);
+            instrs += static_cast<double>(res.instructions);
+        }
+        job.cpi = cycles / instrs;
+    });
 
     std::printf("=== Cluster sweep, 1-wide clusters (CPI normalized "
                 "to 1x8w, focused policy baseline) ===\n\n");
     TextTable t({"benchmark", "policy", "2x1w", "4x1w", "8x1w",
                  "16x1w"});
 
-    // Focus on the low-ILP programs the observation concerns.
-    const char *lows[] = {"gzip", "mcf", "parser", "gap"};
-
-    for (const char *wl : lows) {
-        AggregateResult base = runAggregate(
-            wl, MachineConfig::monolithic(), PolicyKind::FocusedLoc,
-            cfg);
+    std::size_t adaptiveIdx = 0;
+    for (std::size_t w = 0; w < lows.size(); ++w) {
+        const std::string &wl = lows[w];
+        const double base_cpi = outcome.at(baseCells[w]).cpi();
         for (int mode = 0; mode < 3; ++mode) {
             const char *label = mode == 0 ? "focused"
                 : mode == 1 ? "+loc+stall" : "adaptive[2]";
             std::vector<std::string> row{wl, label};
-            for (unsigned n : {2u, 4u, 8u, 16u}) {
-                double cpi;
-                if (mode < 2) {
-                    AggregateResult res = runAggregate(
-                        wl, MachineConfig::generic(n, 1),
-                        mode == 0 ? PolicyKind::Focused
-                                  : PolicyKind::FocusedLocStall,
-                        cfg);
-                    cpi = res.cpi();
-                } else {
-                    // Balasubramonian-style adaptive active-cluster
-                    // steering, the mechanism the observation is
-                    // about.
-                    double cycles = 0.0, instrs = 0.0;
-                    for (std::uint64_t seed : cfg.seeds) {
-                        WorkloadConfig wcfg;
-                        wcfg.targetInstructions = cfg.instructions;
-                        wcfg.seed = seed;
-                        Trace trace = buildAnnotatedTrace(wl, wcfg);
-                        AdaptiveClusterSteering steer;
-                        AgeScheduling age;
-                        SimResult res =
-                            TimingSim(MachineConfig::generic(n, 1),
-                                      trace, steer, age).run();
-                        cycles += static_cast<double>(res.cycles);
-                        instrs +=
-                            static_cast<double>(res.instructions);
-                    }
-                    cpi = cycles / instrs;
-                }
-                row.push_back(formatDouble(cpi / base.cpi(), 3));
-                ctx.addScalar("normCpi." + std::string(wl) + "." +
-                                  label + "." + std::to_string(n) +
-                                  "x1w",
-                              cpi / base.cpi());
+            for (std::size_t ni = 0; ni < 4; ++ni) {
+                const double cpi = mode < 2
+                    ? outcome.at(policyCells[w][mode][ni]).cpi()
+                    : adaptive[adaptiveIdx + ni].cpi;
+                row.push_back(formatDouble(cpi / base_cpi, 3));
+                ctx.addScalar("normCpi." + wl + "." + label + "." +
+                                  std::to_string(ns[ni]) + "x1w",
+                              cpi / base_cpi);
             }
             t.addRow(std::move(row));
         }
-        std::fprintf(stderr, "  %s done\n", wl);
+        adaptiveIdx += 4;
     }
 
     std::printf("%s\n", t.str().c_str());

@@ -10,12 +10,13 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hh"
 #include "critpath/consumer_analysis.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -26,6 +27,32 @@ main(int argc, char **argv)
     ExperimentConfig cfg;
     ctx.apply(cfg);
 
+    // One job per workload; results are folded in workload order.
+    struct Job
+    {
+        std::string workload;
+        ConsumerAnalysis ca;
+        StatsSnapshot stats;
+    };
+    std::vector<Job> jobs;
+    for (const std::string &wl : workloadNames())
+        jobs.push_back(Job{wl, {}, {}});
+
+    SweepRunner &runner = ctx.runner();
+    runner.parallelFor(jobs.size(), [&](std::size_t i) {
+        Job &job = jobs[i];
+        WorkloadConfig wcfg;
+        wcfg.targetInstructions = cfg.instructions;
+        wcfg.seed = 1;
+        std::shared_ptr<const Trace> trace =
+            runner.cache().get(job.workload, wcfg);
+        PolicyRun run = runPolicy(*trace, MachineConfig::monolithic(),
+                                  PolicyKind::Focused, cfg);
+        job.stats = run.sim.stats;
+        job.ca = analyzeConsumers(*trace, run.sim,
+                                  MachineConfig::monolithic());
+    });
+
     std::printf("=== Sec. 6: most-critical-consumer analysis "
                 "(monolithic machine) ===\n\n");
     TextTable t({"benchmark", "values", "multi-consumer",
@@ -34,17 +61,10 @@ main(int argc, char **argv)
     Histogram tendency(10, 0.0, 1.0);
     double unique_sum = 0.0, notfirst_sum = 0.0;
 
-    for (const std::string &wl : workloadNames()) {
-        WorkloadConfig wcfg;
-        wcfg.targetInstructions = cfg.instructions;
-        wcfg.seed = 1;
-        Trace trace = buildAnnotatedTrace(wl, wcfg);
-        PolicyRun run = runPolicy(trace, MachineConfig::monolithic(),
-                                  PolicyKind::Focused, cfg);
-        ctx.addRunStats(wl + "/1x8w/focused", run.sim.stats);
-        ConsumerAnalysis ca = analyzeConsumers(
-            trace, run.sim, MachineConfig::monolithic());
-        t.addRow({wl, std::to_string(ca.valuesAnalyzed),
+    for (const Job &job : jobs) {
+        const ConsumerAnalysis &ca = job.ca;
+        ctx.addRunStats(job.workload + "/1x8w/focused", job.stats);
+        t.addRow({job.workload, std::to_string(ca.valuesAnalyzed),
                   std::to_string(ca.multiConsumerValues),
                   formatPercent(ca.staticallyUniqueFraction, 1),
                   formatPercent(ca.mostCriticalNotFirstFraction, 1)});
@@ -53,7 +73,6 @@ main(int argc, char **argv)
         for (std::size_t b = 0; b < ca.tendency.size(); ++b)
             tendency.add(ca.tendency.bucketLo(b) + 0.05,
                          ca.tendency.bucket(b));
-        std::fprintf(stderr, "  %s done\n", wl.c_str());
     }
 
     const double k = static_cast<double>(workloadNames().size());

@@ -12,30 +12,18 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
-
-namespace {
-
-struct Cell
-{
-    double cpi = 0.0;
-    double fwd = 0.0;
-    double contention = 0.0;
-};
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_fig14_policies", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
 
     std::vector<std::string> columns;
     for (unsigned n : {2u, 4u, 8u}) {
@@ -54,42 +42,57 @@ main(int argc, char **argv)
                         "normalization) ---", columns);
     FigureGrid cont_grid("--- contention CPI component ---", columns);
 
+    // Declare the whole figure as one sweep: per workload, the
+    // monolithic baseline followed by the cumulative policy stack on
+    // each clustered configuration.
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    struct ClusterCell
+    {
+        std::size_t index;
+        unsigned n;
+        std::string column;
+    };
+    std::vector<std::size_t> baseCells;
+    std::vector<std::vector<ClusterCell>> clusterCells;
     for (const std::string &wl : workloadNames()) {
-        AggregateResult mono = runAggregate(
-            wl, MachineConfig::monolithic(), PolicyKind::FocusedLoc,
-            cfg);
-        const double base_cpi = mono.cpi();
-        ctx.addRunStats(wl + "/1x8w/" +
-                            policyName(PolicyKind::FocusedLoc),
-                        mono.stats);
-
-        auto run_cell = [&](unsigned n, PolicyKind kind,
-                            const std::string &col) {
-            AggregateResult res = runAggregate(
-                wl, MachineConfig::clustered(n), kind, cfg);
-            grid.set(wl, col, res.cpi() / base_cpi);
-            fwd_grid.set(wl, col,
-                         res.categoryCpi(CpCategory::FwdDelay) /
-                             base_cpi);
-            cont_grid.set(wl, col,
-                          res.categoryCpi(CpCategory::Contention) /
-                              base_cpi);
-            ctx.addRunStats(wl + "/" + std::to_string(n) + "x" +
-                                std::to_string(8 / n) + "w/" +
-                                policyName(kind),
-                            res.stats);
+        baseCells.push_back(spec.addTiming(
+            wl, MachineConfig::monolithic(), PolicyKind::FocusedLoc));
+        std::vector<ClusterCell> cells;
+        auto add = [&](unsigned n, PolicyKind kind,
+                       const std::string &col) {
+            cells.push_back(
+                {spec.addTiming(wl, MachineConfig::clustered(n), kind),
+                 n, col});
         };
-
         for (unsigned n : {2u, 4u, 8u}) {
             const std::string b = std::to_string(n);
-            run_cell(n, PolicyKind::Focused, b);
-            run_cell(n, PolicyKind::FocusedLoc, b + "l");
-            run_cell(n, PolicyKind::FocusedLocStall, b + "s");
+            add(n, PolicyKind::Focused, b);
+            add(n, PolicyKind::FocusedLoc, b + "l");
+            add(n, PolicyKind::FocusedLocStall, b + "s");
             if (n == 8)
-                run_cell(n, PolicyKind::FocusedLocStallProactive,
-                         b + "p");
+                add(n, PolicyKind::FocusedLocStallProactive, b + "p");
         }
-        std::fprintf(stderr, "  %s done\n", wl.c_str());
+        clusterCells.push_back(std::move(cells));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
+
+    const std::vector<std::string> workloads = workloadNames();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &wl = workloads[w];
+        const double base_cpi = outcome.at(baseCells[w]).cpi();
+        for (const ClusterCell &cell : clusterCells[w]) {
+            const AggregateResult &res = outcome.at(cell.index);
+            grid.set(wl, cell.column, res.cpi() / base_cpi);
+            fwd_grid.set(wl, cell.column,
+                         res.categoryCpi(CpCategory::FwdDelay) /
+                             base_cpi);
+            cont_grid.set(wl, cell.column,
+                          res.categoryCpi(CpCategory::Contention) /
+                              base_cpi);
+        }
     }
 
     std::printf("%s\n", grid.str().c_str());

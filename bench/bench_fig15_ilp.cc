@@ -9,13 +9,14 @@
  * available ILP is abundant.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -31,31 +32,50 @@ main(int argc, char **argv)
     std::vector<double> issued_sum(max_avail + 1, 0.0);
     std::vector<double> cycles_sum(max_avail + 1, 0.0);
 
-    for (const std::string &wl : workloadNames()) {
-        for (std::uint64_t seed : cfg.seeds) {
-            WorkloadConfig wcfg;
-            wcfg.targetInstructions = cfg.instructions;
-            wcfg.seed = seed;
-            Trace trace = buildAnnotatedTrace(wl, wcfg);
-            PolicyRun run = runPolicy(
-                trace, MachineConfig::clustered(8),
-                PolicyKind::FocusedLocStallProactive, cfg);
-            ctx.addRunStats(wl + "/8x1w/" +
-                                policyName(PolicyKind::
-                                               FocusedLocStallProactive) +
-                                "/seed" + std::to_string(seed),
-                            run.sim.stats);
-            for (std::size_t a = 0;
-                 a < run.sim.ilpCycles.size(); ++a) {
-                const std::size_t b = std::min<std::size_t>(a,
-                                                            max_avail);
-                issued_sum[b] += static_cast<double>(
-                    run.sim.ilpIssuedSum[a]);
-                cycles_sum[b] += static_cast<double>(
-                    run.sim.ilpCycles[a]);
-            }
+    // One job per (workload, seed) capturing the ILP histograms; the
+    // accumulators above are folded in job order afterwards so the
+    // floating-point sums match the sequential loop bit for bit.
+    struct Job
+    {
+        std::string workload;
+        std::uint64_t seed;
+        std::vector<std::uint64_t> ilpCycles;
+        std::vector<std::uint64_t> ilpIssuedSum;
+        StatsSnapshot stats;
+    };
+    std::vector<Job> jobs;
+    for (const std::string &wl : workloadNames())
+        for (std::uint64_t seed : cfg.seeds)
+            jobs.push_back(Job{wl, seed, {}, {}, {}});
+
+    SweepRunner &runner = ctx.runner();
+    runner.parallelFor(jobs.size(), [&](std::size_t i) {
+        Job &job = jobs[i];
+        WorkloadConfig wcfg;
+        wcfg.targetInstructions = cfg.instructions;
+        wcfg.seed = job.seed;
+        std::shared_ptr<const Trace> trace =
+            runner.cache().get(job.workload, wcfg);
+        PolicyRun run = runPolicy(
+            *trace, MachineConfig::clustered(8),
+            PolicyKind::FocusedLocStallProactive, cfg);
+        job.ilpCycles = run.sim.ilpCycles;
+        job.ilpIssuedSum = run.sim.ilpIssuedSum;
+        job.stats = run.sim.stats;
+    });
+
+    for (const Job &job : jobs) {
+        ctx.addRunStats(job.workload + "/8x1w/" +
+                            policyName(PolicyKind::
+                                           FocusedLocStallProactive) +
+                            "/seed" + std::to_string(job.seed),
+                        job.stats);
+        for (std::size_t a = 0; a < job.ilpCycles.size(); ++a) {
+            const std::size_t b = std::min<std::size_t>(a, max_avail);
+            issued_sum[b] +=
+                static_cast<double>(job.ilpIssuedSum[a]);
+            cycles_sum[b] += static_cast<double>(job.ilpCycles[a]);
         }
-        std::fprintf(stderr, "  %s done\n", wl.c_str());
     }
 
     std::printf("=== Figure 15: achieved vs available ILP, 8x1w, "

@@ -12,10 +12,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -23,27 +24,35 @@ int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_fig2_ideal", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
     FigureGrid grid("=== Figure 2: idealized list scheduling "
                     "(CPI normalized to 1x8w list schedule) ===",
                     {"2x4w", "4x2w", "8x1w"});
 
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    std::vector<std::size_t> baseCells;
+    std::vector<std::vector<std::size_t>> clusterCells;
     for (const std::string &wl : workloadNames()) {
-        AggregateResult base = runIdealAggregate(
-            wl, MachineConfig::monolithic(), cfg);
-        ctx.addRunStats(wl + "/1x8w/ideal", base.stats);
-        for (unsigned n : {2u, 4u, 8u}) {
-            AggregateResult clus = runIdealAggregate(
-                wl, MachineConfig::clustered(n), cfg);
-            grid.set(wl, MachineConfig::clustered(n).name(),
-                     clus.cpi() / base.cpi());
-            ctx.addRunStats(wl + "/" +
-                                MachineConfig::clustered(n).name() +
-                                "/ideal",
-                            clus.stats);
+        baseCells.push_back(
+            spec.addIdeal(wl, MachineConfig::monolithic()));
+        std::vector<std::size_t> cells;
+        for (unsigned n : {2u, 4u, 8u})
+            cells.push_back(
+                spec.addIdeal(wl, MachineConfig::clustered(n)));
+        clusterCells.push_back(std::move(cells));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
+
+    const std::vector<std::string> workloads = workloadNames();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double base_cpi = outcome.at(baseCells[w]).cpi();
+        for (std::size_t c = 0; c < clusterCells[w].size(); ++c) {
+            const std::size_t cell = clusterCells[w][c];
+            grid.set(workloads[w], outcome.cells[cell].machine.name(),
+                     outcome.at(cell).cpi() / base_cpi);
         }
-        std::fprintf(stderr, "  %s done\n", wl.c_str());
     }
 
     std::printf("%s\n", grid.str().c_str());

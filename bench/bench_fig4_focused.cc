@@ -8,10 +8,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -19,28 +20,33 @@ int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_fig4_focused", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
     FigureGrid grid("=== Figure 4: focused steering & scheduling "
                     "(CPI normalized to 1x8w) ===",
                     {"2x4w", "4x2w", "8x1w"});
 
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    std::vector<std::size_t> baseCells;
+    std::vector<std::vector<std::size_t>> clusterCells;
     for (const std::string &wl : workloadNames()) {
-        AggregateResult base = runAggregate(
-            wl, MachineConfig::monolithic(), PolicyKind::Focused, cfg);
-        ctx.addRunStats(wl + "/1x8w/focused", base.stats);
-        for (unsigned n : {2u, 4u, 8u}) {
-            AggregateResult clus = runAggregate(
-                wl, MachineConfig::clustered(n), PolicyKind::Focused,
-                cfg);
-            grid.set(wl, MachineConfig::clustered(n).name(),
-                     clus.cpi() / base.cpi());
-            ctx.addRunStats(wl + "/" +
-                                MachineConfig::clustered(n).name() +
-                                "/focused",
-                            clus.stats);
-        }
-        std::fprintf(stderr, "  %s done\n", wl.c_str());
+        baseCells.push_back(spec.addTiming(
+            wl, MachineConfig::monolithic(), PolicyKind::Focused));
+        std::vector<std::size_t> cells;
+        for (unsigned n : {2u, 4u, 8u})
+            cells.push_back(spec.addTiming(
+                wl, MachineConfig::clustered(n), PolicyKind::Focused));
+        clusterCells.push_back(std::move(cells));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
+
+    const std::vector<std::string> workloads = workloadNames();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double base_cpi = outcome.at(baseCells[w]).cpi();
+        for (std::size_t cell : clusterCells[w])
+            grid.set(workloads[w], outcome.cells[cell].machine.name(),
+                     outcome.at(cell).cpi() / base_cpi);
     }
 
     std::printf("%s\n", grid.str().c_str());

@@ -9,11 +9,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -21,13 +22,28 @@ int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_fig5_breakdown", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
     const CpCategory cats[] = {
         CpCategory::FwdDelay, CpCategory::Contention,
         CpCategory::Execute, CpCategory::Window, CpCategory::Fetch,
         CpCategory::MemLatency, CpCategory::BrMispredict,
     };
+
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    std::vector<std::vector<std::size_t>> wlCells;
+    for (const std::string &wl : workloadNames()) {
+        std::vector<std::size_t> cells;
+        for (unsigned n : {1u, 2u, 4u, 8u}) {
+            MachineConfig mc = n == 1 ? MachineConfig::monolithic()
+                                      : MachineConfig::clustered(n);
+            cells.push_back(
+                spec.addTiming(wl, mc, PolicyKind::Focused));
+        }
+        wlCells.push_back(std::move(cells));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
 
     std::printf("=== Figure 5: critical path breakdown, focused "
                 "steering & scheduling ===\n");
@@ -36,31 +52,27 @@ main(int argc, char **argv)
 
     std::vector<double> avg_total(4, 0.0);
 
-    for (const std::string &wl : workloadNames()) {
-        AggregateResult base = runAggregate(
-            wl, MachineConfig::monolithic(), PolicyKind::Focused, cfg);
-        const double base_cpi = base.cpi();
+    const std::vector<std::string> workloads = workloadNames();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double base_cpi = outcome.at(wlCells[w][0]).cpi();
 
         TextTable t({"config", "norm.CPI", "fwd.delay", "contention",
                      "execute", "window", "fetch", "mem.latency",
                      "br.mispr."});
-        int idx = 0;
-        for (unsigned n : {1u, 2u, 4u, 8u}) {
-            MachineConfig mc = n == 1 ? MachineConfig::monolithic()
-                                      : MachineConfig::clustered(n);
-            AggregateResult res = n == 1 ? base :
-                runAggregate(wl, mc, PolicyKind::Focused, cfg);
-            ctx.addRunStats(wl + "/" + mc.name() + "/focused",
-                            res.stats);
-            std::vector<std::string> row{mc.name(),
+        for (std::size_t idx = 0; idx < wlCells[w].size(); ++idx) {
+            const AggregateResult &res = outcome.at(wlCells[w][idx]);
+            const std::string name =
+                outcome.cells[wlCells[w][idx]].machine.name();
+            std::vector<std::string> row{name,
                 formatDouble(res.cpi() / base_cpi, 3)};
             for (CpCategory c : cats)
                 row.push_back(
                     formatDouble(res.categoryCpi(c) / base_cpi, 3));
             t.addRow(std::move(row));
-            avg_total[idx++] += res.cpi() / base_cpi;
+            avg_total[idx] += res.cpi() / base_cpi;
         }
-        std::printf("--- %s ---\n%s\n", wl.c_str(), t.str().c_str());
+        std::printf("--- %s ---\n%s\n", workloads[w].c_str(),
+                    t.str().c_str());
     }
 
     const double nwl = static_cast<double>(workloadNames().size());

@@ -17,11 +17,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -29,8 +30,16 @@ int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_fig6_attribution", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
+
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    for (const std::string &wl : workloadNames())
+        for (unsigned n : {2u, 4u, 8u})
+            spec.addTiming(wl, MachineConfig::clustered(n),
+                           PolicyKind::Focused);
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
 
     std::printf("=== Figure 6: critical-path event attribution "
                 "(focused policy; events per 10k instructions) "
@@ -44,34 +53,26 @@ main(int argc, char **argv)
     double lb_sum = 0.0, dy_sum = 0.0, ot_sum = 0.0;
     int cells = 0;
 
-    for (const std::string &wl : workloadNames()) {
-        for (unsigned n : {2u, 4u, 8u}) {
-            AggregateResult res = runAggregate(
-                wl, MachineConfig::clustered(n), PolicyKind::Focused,
-                cfg);
-            ctx.addRunStats(wl + "/" +
-                                MachineConfig::clustered(n).name() +
-                                "/focused",
-                            res.stats);
-            const double scale =
-                10000.0 / static_cast<double>(res.instructions);
-            auto fmt = [&](std::uint64_t v) {
-                return formatDouble(static_cast<double>(v) * scale, 1);
-            };
-            ta.addRow({wl, MachineConfig::clustered(n).name(),
-                       fmt(res.contentionEventsCritical),
-                       fmt(res.contentionEventsOther),
-                       fmt(res.fwdEventsLoadBal),
-                       fmt(res.fwdEventsDyadic),
-                       fmt(res.fwdEventsOther)});
-            crit_sum += res.contentionEventsCritical * scale;
-            other_sum += res.contentionEventsOther * scale;
-            lb_sum += res.fwdEventsLoadBal * scale;
-            dy_sum += res.fwdEventsDyadic * scale;
-            ot_sum += res.fwdEventsOther * scale;
-            ++cells;
-        }
-        std::fprintf(stderr, "  %s done\n", wl.c_str());
+    for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+        const SweepCell &cell = outcome.cells[i];
+        const AggregateResult &res = outcome.at(i);
+        const double scale =
+            10000.0 / static_cast<double>(res.instructions);
+        auto fmt = [&](std::uint64_t v) {
+            return formatDouble(static_cast<double>(v) * scale, 1);
+        };
+        ta.addRow({cell.workload, cell.machine.name(),
+                   fmt(res.contentionEventsCritical),
+                   fmt(res.contentionEventsOther),
+                   fmt(res.fwdEventsLoadBal),
+                   fmt(res.fwdEventsDyadic),
+                   fmt(res.fwdEventsOther)});
+        crit_sum += res.contentionEventsCritical * scale;
+        other_sum += res.contentionEventsOther * scale;
+        lb_sum += res.fwdEventsLoadBal * scale;
+        dy_sum += res.fwdEventsDyadic * scale;
+        ot_sum += res.fwdEventsOther * scale;
+        ++cells;
     }
 
     std::printf("%s\n", ta.str().c_str());

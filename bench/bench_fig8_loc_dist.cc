@@ -13,11 +13,13 @@
 
 #include <cstdio>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -29,38 +31,57 @@ main(int argc, char **argv)
     ctx.apply(cfg);
     Histogram hist(21, 0.0, 1.05);  // 5% buckets, 0..100%
 
-    for (const std::string &wl : workloadNames()) {
-        for (std::uint64_t seed : cfg.seeds) {
-            WorkloadConfig wcfg;
-            wcfg.targetInstructions = cfg.instructions;
-            wcfg.seed = seed;
-            Trace trace = buildAnnotatedTrace(wl, wcfg);
-            PolicyRun run = runPolicy(
-                trace, MachineConfig::monolithic(),
-                PolicyKind::Focused, cfg);
-            ctx.addRunStats(wl + "/1x8w/focused/seed" +
-                                std::to_string(seed),
-                            run.sim.stats);
-            std::vector<bool> crit = criticalityGroundTruth(
-                trace, run.sim, MachineConfig::monolithic());
+    // One job per (workload, seed); each job returns its histogram
+    // contributions and run snapshot, which are folded in job order so
+    // the result matches the sequential loop exactly.
+    struct Job
+    {
+        std::string workload;
+        std::uint64_t seed;
+        std::vector<std::pair<double, std::uint64_t>> locWeights;
+        StatsSnapshot stats;
+    };
+    std::vector<Job> jobs;
+    for (const std::string &wl : workloadNames())
+        for (std::uint64_t seed : cfg.seeds)
+            jobs.push_back(Job{wl, seed, {}, {}});
 
-            std::unordered_map<Addr,
-                               std::pair<std::uint64_t,
-                                         std::uint64_t>> per_pc;
-            for (std::uint64_t i = 0; i < trace.size(); ++i) {
-                auto &e = per_pc[trace[i].pc];
-                ++e.second;
-                if (crit[i])
-                    ++e.first;
-            }
-            for (const auto &[pc, e] : per_pc) {
-                (void)pc;
-                const double loc = static_cast<double>(e.first) /
-                    static_cast<double>(e.second);
-                hist.add(loc, e.second);  // weight by dynamic count
-            }
+    SweepRunner &runner = ctx.runner();
+    runner.parallelFor(jobs.size(), [&](std::size_t i) {
+        Job &job = jobs[i];
+        WorkloadConfig wcfg;
+        wcfg.targetInstructions = cfg.instructions;
+        wcfg.seed = job.seed;
+        std::shared_ptr<const Trace> trace =
+            runner.cache().get(job.workload, wcfg);
+        PolicyRun run = runPolicy(*trace, MachineConfig::monolithic(),
+                                  PolicyKind::Focused, cfg);
+        job.stats = run.sim.stats;
+        std::vector<bool> crit = criticalityGroundTruth(
+            *trace, run.sim, MachineConfig::monolithic());
+
+        std::unordered_map<Addr, std::pair<std::uint64_t,
+                                           std::uint64_t>> per_pc;
+        for (std::uint64_t k = 0; k < trace->size(); ++k) {
+            auto &e = per_pc[(*trace)[k].pc];
+            ++e.second;
+            if (crit[k])
+                ++e.first;
         }
-        std::fprintf(stderr, "  %s done\n", wl.c_str());
+        for (const auto &[pc, e] : per_pc) {
+            (void)pc;
+            const double loc = static_cast<double>(e.first) /
+                static_cast<double>(e.second);
+            job.locWeights.emplace_back(loc, e.second);
+        }
+    });
+
+    for (const Job &job : jobs) {
+        ctx.addRunStats(job.workload + "/1x8w/focused/seed" +
+                            std::to_string(job.seed),
+                        job.stats);
+        for (const auto &[loc, weight] : job.locWeights)
+            hist.add(loc, weight);  // weight by dynamic count
     }
 
     std::printf("=== Figure 8: distribution of static LoC over "

@@ -7,11 +7,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -19,42 +20,54 @@ int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_global_traffic", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
+
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    const std::vector<std::string> workloads = workloadNames();
+    // cellAt[n-index][column][workload]; columns are dependence,
+    // focused, full stack, ideal.
+    std::vector<std::vector<std::vector<std::size_t>>> cellAt;
+    for (unsigned n : {2u, 4u, 8u}) {
+        const MachineConfig mc = MachineConfig::clustered(n);
+        std::vector<std::vector<std::size_t>> cols(4);
+        for (const std::string &wl : workloads) {
+            cols[0].push_back(
+                spec.addTiming(wl, mc, PolicyKind::Dep));
+            cols[1].push_back(
+                spec.addTiming(wl, mc, PolicyKind::Focused));
+            cols[2].push_back(spec.addTiming(
+                wl, mc,
+                n == 8 ? PolicyKind::FocusedLocStallProactive
+                       : PolicyKind::FocusedLocStall));
+            cols[3].push_back(spec.addIdeal(wl, mc));
+        }
+        cellAt.push_back(std::move(cols));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
 
     std::printf("=== Sec. 2.1: global values per instruction ===\n\n");
     TextTable t({"config", "dependence", "focused", "full stack",
                  "ideal sched"});
 
-    for (unsigned n : {2u, 4u, 8u}) {
-        const MachineConfig mc = MachineConfig::clustered(n);
-        double dep = 0.0, foc = 0.0, full = 0.0, ideal = 0.0;
-        for (const std::string &wl : workloadNames()) {
-            dep += runAggregate(wl, mc, PolicyKind::Dep, cfg)
-                       .globalValuesPerInst();
-            foc += runAggregate(wl, mc, PolicyKind::Focused, cfg)
-                       .globalValuesPerInst();
-            full += runAggregate(
-                        wl, mc,
-                        n == 8 ? PolicyKind::FocusedLocStallProactive
-                               : PolicyKind::FocusedLocStall, cfg)
-                        .globalValuesPerInst();
-            ideal += runIdealAggregate(wl, mc, cfg)
-                         .globalValuesPerInst();
-        }
-        const double k = static_cast<double>(workloadNames().size());
-        t.addRow({mc.name(), formatDouble(dep / k, 3),
-                  formatDouble(foc / k, 3), formatDouble(full / k, 3),
-                  formatDouble(ideal / k, 3)});
-        ctx.addScalar("globalValuesPerInst." + mc.name() + ".dep",
-                      dep / k);
-        ctx.addScalar("globalValuesPerInst." + mc.name() + ".focused",
-                      foc / k);
-        ctx.addScalar("globalValuesPerInst." + mc.name() + ".full",
-                      full / k);
-        ctx.addScalar("globalValuesPerInst." + mc.name() + ".ideal",
-                      ideal / k);
-        std::fprintf(stderr, "  %s done\n", mc.name().c_str());
+    const unsigned ns[] = {2u, 4u, 8u};
+    const char *colName[] = {"dep", "focused", "full", "ideal"};
+    for (std::size_t ni = 0; ni < 3; ++ni) {
+        const MachineConfig mc = MachineConfig::clustered(ns[ni]);
+        const double k = static_cast<double>(workloads.size());
+        double sums[4] = {0.0, 0.0, 0.0, 0.0};
+        for (std::size_t col = 0; col < 4; ++col)
+            for (std::size_t cell : cellAt[ni][col])
+                sums[col] += outcome.at(cell).globalValuesPerInst();
+        t.addRow({mc.name(), formatDouble(sums[0] / k, 3),
+                  formatDouble(sums[1] / k, 3),
+                  formatDouble(sums[2] / k, 3),
+                  formatDouble(sums[3] / k, 3)});
+        for (std::size_t col = 0; col < 4; ++col)
+            ctx.addScalar("globalValuesPerInst." + mc.name() + "." +
+                              colName[col],
+                          sums[col] / k);
     }
 
     std::printf("%s\n", t.str().c_str());

@@ -8,11 +8,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -20,8 +21,50 @@ int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_latency_sweep", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
+
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    const std::vector<std::string> workloads = workloadNames();
+    // cellAt[latency-1][mode]: baseline + 3 cluster cells per
+    // workload, workload-major. Cell labels repeat across latencies
+    // (the machine name does not encode fwdLatency), so the per-run
+    // stats are not exported; the scalars carry the figure.
+    struct WlCells
+    {
+        std::size_t base;
+        std::size_t clustered[3];
+    };
+    std::vector<std::vector<std::vector<WlCells>>> cellAt;
+    for (unsigned lat : {1u, 2u, 3u, 4u}) {
+        std::vector<std::vector<WlCells>> modes(2);
+        for (int mode = 0; mode < 2; ++mode) {
+            for (const std::string &wl : workloads) {
+                MachineConfig mono = MachineConfig::monolithic();
+                mono.fwdLatency = lat;
+                WlCells cells;
+                cells.base = mode == 0
+                    ? spec.addIdeal(wl, mono)
+                    : spec.addTiming(wl, mono, PolicyKind::FocusedLoc);
+                int idx = 0;
+                for (unsigned n : {2u, 4u, 8u}) {
+                    MachineConfig mc = MachineConfig::clustered(n);
+                    mc.fwdLatency = lat;
+                    cells.clustered[idx++] = mode == 0
+                        ? spec.addIdeal(wl, mc)
+                        : spec.addTiming(
+                              wl, mc,
+                              n == 8
+                                  ? PolicyKind::
+                                        FocusedLocStallProactive
+                                  : PolicyKind::FocusedLocStall);
+                }
+                modes[mode].push_back(cells);
+            }
+        }
+        cellAt.push_back(std::move(modes));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
 
     std::printf("=== Footnote 3: forwarding-latency sweep (average "
                 "CPI normalized to 1x8w) ===\n\n");
@@ -30,31 +73,13 @@ main(int argc, char **argv)
     for (unsigned lat : {1u, 2u, 3u, 4u}) {
         for (int mode = 0; mode < 2; ++mode) {
             double avg[3] = {0.0, 0.0, 0.0};
-            for (const std::string &wl : workloadNames()) {
-                MachineConfig mono = MachineConfig::monolithic();
-                mono.fwdLatency = lat;
-                const double base = mode == 0
-                    ? runIdealAggregate(wl, mono, cfg).cpi()
-                    : runAggregate(wl, mono, PolicyKind::FocusedLoc,
-                                   cfg).cpi();
-                int idx = 0;
-                for (unsigned n : {2u, 4u, 8u}) {
-                    MachineConfig mc = MachineConfig::clustered(n);
-                    mc.fwdLatency = lat;
-                    const double cpi = mode == 0
-                        ? runIdealAggregate(wl, mc, cfg).cpi()
-                        : runAggregate(
-                              wl, mc,
-                              n == 8
-                                  ? PolicyKind::
-                                        FocusedLocStallProactive
-                                  : PolicyKind::FocusedLocStall,
-                              cfg).cpi();
-                    avg[idx++] += cpi / base;
-                }
+            for (const WlCells &cells : cellAt[lat - 1][mode]) {
+                const double base = outcome.at(cells.base).cpi();
+                for (int idx = 0; idx < 3; ++idx)
+                    avg[idx] +=
+                        outcome.at(cells.clustered[idx]).cpi() / base;
             }
-            const double k =
-                static_cast<double>(workloadNames().size());
+            const double k = static_cast<double>(workloads.size());
             t.addRow({std::to_string(lat),
                       mode == 0 ? "ideal" : "policies",
                       formatDouble(avg[0] / k, 3),
@@ -67,7 +92,6 @@ main(int argc, char **argv)
             ctx.addScalar(pfx + "4x2w", avg[1] / k);
             ctx.addScalar(pfx + "8x1w", avg[2] / k);
         }
-        std::fprintf(stderr, "  latency %u done\n", lat);
     }
 
     std::printf("%s\n", t.str().c_str());

@@ -164,7 +164,9 @@ BENCHMARK(BM_LocPredictor);
 
 // Custom main: accept the repo-wide `--json <path>` flag by mapping it
 // onto google-benchmark's own JSON reporter, so every bench binary
-// shares one machine-readable output convention.
+// shares one machine-readable output convention. `--threads N` is
+// accepted for command-line parity with the sweep benches and ignored:
+// google-benchmark timings are only meaningful single-threaded.
 int
 main(int argc, char **argv)
 {
@@ -176,6 +178,9 @@ main(int argc, char **argv)
             storage.push_back(std::string("--benchmark_out=") +
                               argv[i + 1]);
             storage.push_back("--benchmark_out_format=json");
+            ++i;
+        } else if (std::string(argv[i]) == "--threads" &&
+                   i + 1 < argc) {
             ++i;
         } else {
             storage.push_back(argv[i]);

@@ -12,14 +12,20 @@
  *  - Fig. 12/13: the early-exit loop whose most critical consumer is
  *    last in fetch order; proactive load-balancing recovers it.
  *  - Available-ILP == machine-width stress (Sec. 7 / Fig. 15).
+ *
+ * The micro traces live outside the workload registry, so this bench
+ * runs its independent simulations through parallelFor directly and
+ * prints the sections in order afterwards.
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common/stats.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "policy/scheduling.hh"
 #include "policy/steering.hh"
 #include "workloads/micro.hh"
@@ -54,119 +60,155 @@ main(int argc, char **argv)
     wcfg.targetInstructions = 30000;
     wcfg.seed = 1;
 
+    // Traces are cheap to build; the simulations dominate, so each
+    // becomes one parallelFor job writing its own result slot.
+    const Trace chain_t = annotate(buildMicroSerialChain(wcfg));
+    const Trace conv_t = annotate(buildMicroConvergent(wcfg));
+    const Trace exit_t = annotate(buildMicroEarlyExit(wcfg));
+    const unsigned chainCounts[] = {2u, 4u, 8u, 16u};
+    std::vector<Trace> wide_t;
+    for (unsigned chains : chainCounts)
+        wide_t.push_back(annotate(buildMicroWideIlp(wcfg, chains)));
+
+    PolicyRun chain_dep, chain_stall;
+    double conv_norm[3] = {};
+    PolicyRun exit_mono, exit_dep, exit_full;
+    PolicyRun wide_mono[4], wide_clus[4];
+
+    std::vector<std::function<void()>> work;
+    work.push_back([&] {
+        chain_dep = runKind(chain_t, MachineConfig::clustered(8),
+                            PolicyKind::Dep);
+    });
+    work.push_back([&] {
+        chain_stall = runKind(chain_t, MachineConfig::clustered(8),
+                              PolicyKind::FocusedLocStall);
+    });
+    work.push_back([&] {
+        UnifiedSteering steer(UnifiedSteeringOptions{}, nullptr,
+                              nullptr);
+        AgeScheduling age;
+        SimResult ref = TimingSim(MachineConfig::monolithic(), conv_t,
+                                  steer, age).run();
+        ListSchedResult mono = listSchedule(
+            conv_t, ref.timing, MachineConfig::monolithic());
+        int idx = 0;
+        for (unsigned n : {2u, 4u, 8u}) {
+            ListSchedResult clus = listSchedule(
+                conv_t, ref.timing, MachineConfig::clustered(n));
+            conv_norm[idx++] = clus.cpi() / mono.cpi();
+        }
+    });
+    work.push_back([&] {
+        exit_mono = runKind(exit_t, MachineConfig::monolithic(),
+                            PolicyKind::FocusedLoc);
+    });
+    work.push_back([&] {
+        exit_dep = runKind(exit_t, MachineConfig::clustered(8),
+                           PolicyKind::Dep);
+    });
+    work.push_back([&] {
+        exit_full = runKind(exit_t, MachineConfig::clustered(8),
+                            PolicyKind::FocusedLocStallProactive);
+    });
+    for (std::size_t c = 0; c < 4; ++c) {
+        work.push_back([&, c] {
+            wide_mono[c] = runKind(wide_t[c],
+                                   MachineConfig::monolithic(),
+                                   PolicyKind::FocusedLoc);
+        });
+        work.push_back([&, c] {
+            wide_clus[c] = runKind(
+                wide_t[c], MachineConfig::clustered(8),
+                PolicyKind::FocusedLocStallProactive);
+        });
+    }
+
+    ctx.runner().parallelFor(work.size(),
+                             [&](std::size_t i) { work[i](); });
+
     // ---------------------------------------------------------- //
     std::printf("=== Fig. 9: a single dependence chain on 8x1w "
                 "===\n\n");
-    {
-        Trace t = annotate(buildMicroSerialChain(wcfg));
-        const MachineConfig mc = MachineConfig::clustered(8);
-        PolicyRun dep = runKind(t, mc, PolicyKind::Dep);
-        PolicyRun stall =
-            runKind(t, mc, PolicyKind::FocusedLocStall);
-        std::printf("dependence steering:  CPI %.3f, critical fwd "
-                    "cycles %llu\n",
-                    dep.sim.cpi(),
-                    static_cast<unsigned long long>(
-                        dep.breakdown[CpCategory::FwdDelay]));
-        std::printf("+ stall-over-steer:   CPI %.3f, critical fwd "
-                    "cycles %llu\n\n",
-                    stall.sim.cpi(),
-                    static_cast<unsigned long long>(
-                        stall.breakdown[CpCategory::FwdDelay]));
-        ctx.addScalar("fig9.depCpi", dep.sim.cpi());
-        ctx.addScalar("fig9.stallCpi", stall.sim.cpi());
-        ctx.addRunStats("serialChain/8x1w/dependence", dep.sim.stats);
-        ctx.addRunStats("serialChain/8x1w/focused+loc+stall",
-                        stall.sim.stats);
-        std::printf("Paper: load-balancing injects one forwarding "
-                    "delay per window fill; stalling removes them "
-                    "all (CPI -> the chain's 1.0 bound).\n\n");
-    }
+    std::printf("dependence steering:  CPI %.3f, critical fwd "
+                "cycles %llu\n",
+                chain_dep.sim.cpi(),
+                static_cast<unsigned long long>(
+                    chain_dep.breakdown[CpCategory::FwdDelay]));
+    std::printf("+ stall-over-steer:   CPI %.3f, critical fwd "
+                "cycles %llu\n\n",
+                chain_stall.sim.cpi(),
+                static_cast<unsigned long long>(
+                    chain_stall.breakdown[CpCategory::FwdDelay]));
+    ctx.addScalar("fig9.depCpi", chain_dep.sim.cpi());
+    ctx.addScalar("fig9.stallCpi", chain_stall.sim.cpi());
+    ctx.addRunStats("serialChain/8x1w/dependence",
+                    chain_dep.sim.stats);
+    ctx.addRunStats("serialChain/8x1w/focused+loc+stall",
+                    chain_stall.sim.stats);
+    std::printf("Paper: load-balancing injects one forwarding "
+                "delay per window fill; stalling removes them "
+                "all (CPI -> the chain's 1.0 bound).\n\n");
 
     // ---------------------------------------------------------- //
     std::printf("=== Fig. 3: convergent dataflow across cluster "
                 "widths (idealized scheduler) ===\n\n");
+    std::printf("%10s  %10s\n", "config", "norm. CPI");
     {
-        Trace t = annotate(buildMicroConvergent(wcfg));
-        UnifiedSteering steer(UnifiedSteeringOptions{}, nullptr,
-                              nullptr);
-        AgeScheduling age;
-        SimResult ref = TimingSim(MachineConfig::monolithic(), t,
-                                  steer, age).run();
-        ListSchedResult mono = listSchedule(
-            t, ref.timing, MachineConfig::monolithic());
-        std::printf("%10s  %10s\n", "config", "norm. CPI");
-        for (unsigned n : {2u, 4u, 8u}) {
-            ListSchedResult clus = listSchedule(
-                t, ref.timing, MachineConfig::clustered(n));
+        int idx = 0;
+        for (unsigned n : {2u, 4u, 8u})
             std::printf("%10s  %10.3f\n",
                         MachineConfig::clustered(n).name().c_str(),
-                        clus.cpi() / mono.cpi());
-        }
-        std::printf("\nPaper: with 1-wide clusters the convergence "
-                    "imposes a small fundamental penalty (forwarding "
-                    "or contention); 2- and 4-wide clusters absorb "
-                    "it.\n\n");
+                        conv_norm[idx++]);
     }
+    std::printf("\nPaper: with 1-wide clusters the convergence "
+                "imposes a small fundamental penalty (forwarding "
+                "or contention); 2- and 4-wide clusters absorb "
+                "it.\n\n");
 
     // ---------------------------------------------------------- //
     std::printf("=== Fig. 12/13: early-exit loop on 8x1w ===\n\n");
-    {
-        Trace t = annotate(buildMicroEarlyExit(wcfg));
-        PolicyRun mono = runKind(t, MachineConfig::monolithic(),
-                                 PolicyKind::FocusedLoc);
-        const MachineConfig mc = MachineConfig::clustered(8);
-        PolicyRun dep = runKind(t, mc, PolicyKind::Dep);
-        PolicyRun full = runKind(
-            t, mc, PolicyKind::FocusedLocStallProactive);
-        std::printf("monolithic:           CPI %.3f\n",
-                    mono.sim.cpi());
-        std::printf("dependence steering:  CPI %.3f (%.1f%% "
-                    "penalty)\n",
-                    dep.sim.cpi(),
-                    100.0 * (dep.sim.cpi() / mono.sim.cpi() - 1.0));
-        std::printf("full policy stack:    CPI %.3f (%.1f%% "
-                    "penalty)\n\n",
-                    full.sim.cpi(),
-                    100.0 * (full.sim.cpi() / mono.sim.cpi() - 1.0));
-        ctx.addScalar("fig12.monoCpi", mono.sim.cpi());
-        ctx.addScalar("fig12.depCpi", dep.sim.cpi());
-        ctx.addScalar("fig12.fullCpi", full.sim.cpi());
-        ctx.addRunStats("earlyExit/8x1w/full", full.sim.stats);
-        std::printf("Paper: collocating only the first consumer "
-                    "spreads the recurrence (Fig. 13a); keeping the "
-                    "most critical consumer preserves the spine "
-                    "(Fig. 13b).\n\n");
-    }
+    std::printf("monolithic:           CPI %.3f\n",
+                exit_mono.sim.cpi());
+    std::printf("dependence steering:  CPI %.3f (%.1f%% "
+                "penalty)\n",
+                exit_dep.sim.cpi(),
+                100.0 * (exit_dep.sim.cpi() / exit_mono.sim.cpi() -
+                         1.0));
+    std::printf("full policy stack:    CPI %.3f (%.1f%% "
+                "penalty)\n\n",
+                exit_full.sim.cpi(),
+                100.0 * (exit_full.sim.cpi() / exit_mono.sim.cpi() -
+                         1.0));
+    ctx.addScalar("fig12.monoCpi", exit_mono.sim.cpi());
+    ctx.addScalar("fig12.depCpi", exit_dep.sim.cpi());
+    ctx.addScalar("fig12.fullCpi", exit_full.sim.cpi());
+    ctx.addRunStats("earlyExit/8x1w/full", exit_full.sim.stats);
+    std::printf("Paper: collocating only the first consumer "
+                "spreads the recurrence (Fig. 13a); keeping the "
+                "most critical consumer preserves the spine "
+                "(Fig. 13b).\n\n");
 
     // ---------------------------------------------------------- //
     std::printf("=== Available ILP == machine width on 8x1w "
                 "===\n\n");
-    {
-        std::printf("%8s  %10s  %12s\n", "chains", "mono CPI",
-                    "8x1w CPI");
-        for (unsigned chains : {2u, 4u, 8u, 16u}) {
-            Trace t = annotate(buildMicroWideIlp(wcfg, chains));
-            PolicyRun mono = runKind(t, MachineConfig::monolithic(),
-                                     PolicyKind::FocusedLoc);
-            PolicyRun clus = runKind(
-                t, MachineConfig::clustered(8),
-                PolicyKind::FocusedLocStallProactive);
-            std::printf("%8u  %10.3f  %12.3f\n", chains,
-                        mono.sim.cpi(), clus.sim.cpi());
-            ctx.addScalar("wideIlp.chains" + std::to_string(chains) +
-                              ".clusCpi",
-                          clus.sim.cpi());
-        }
-        std::printf("\nPaper (Fig. 15 / Sec. 7): the clustered "
-                    "machine suffers when the ready-instruction "
-                    "distribution matters — here at intermediate "
-                    "chain counts, where steering must place one "
-                    "chain per cluster without global knowledge. "
-                    "With chains == clusters the assignment is "
-                    "trivial and with abundant chains every cluster "
-                    "stays busy; in between the gap opens, the "
-                    "distribution problem of Sec. 7.\n");
+    std::printf("%8s  %10s  %12s\n", "chains", "mono CPI",
+                "8x1w CPI");
+    for (std::size_t c = 0; c < 4; ++c) {
+        std::printf("%8u  %10.3f  %12.3f\n", chainCounts[c],
+                    wide_mono[c].sim.cpi(), wide_clus[c].sim.cpi());
+        ctx.addScalar("wideIlp.chains" +
+                          std::to_string(chainCounts[c]) + ".clusCpi",
+                      wide_clus[c].sim.cpi());
     }
+    std::printf("\nPaper (Fig. 15 / Sec. 7): the clustered "
+                "machine suffers when the ready-instruction "
+                "distribution matters — here at intermediate "
+                "chain counts, where steering must place one "
+                "chain per cluster without global knowledge. "
+                "With chains == clusters the assignment is "
+                "trivial and with abundant chains every cluster "
+                "stays busy; in between the gap opens, the "
+                "distribution problem of Sec. 7.\n");
     return ctx.finish();
 }

@@ -8,10 +8,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -19,8 +20,6 @@ int
 main(int argc, char **argv)
 {
     BenchContext ctx("bench_sec4_loc_ideal", argc, argv);
-    ExperimentConfig cfg;
-    ctx.apply(cfg);
 
     const struct
     {
@@ -32,6 +31,34 @@ main(int argc, char **argv)
         {ListSchedOptions::Priority::BinaryCritical, "binary"},
     };
 
+    // One oracle baseline per workload plus a (config, variant) cell
+    // per workload; the old bench re-ran the identical baseline for
+    // every variant, which the cache-backed sweep makes unnecessary.
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    const std::vector<std::string> workloads = workloadNames();
+    std::vector<std::size_t> baseCells;
+    for (const std::string &wl : workloads)
+        baseCells.push_back(
+            spec.addIdeal(wl, MachineConfig::monolithic(),
+                          ListSchedOptions::Priority::DataflowHeight));
+    // cellAt[n-index][variant][workload]
+    std::vector<std::vector<std::vector<std::size_t>>> cellAt;
+    for (unsigned n : {2u, 4u, 8u}) {
+        std::vector<std::vector<std::size_t>> per_variant;
+        for (const auto &v : variants) {
+            std::vector<std::size_t> per_wl;
+            for (const std::string &wl : workloads)
+                per_wl.push_back(spec.addIdeal(
+                    wl, MachineConfig::clustered(n), v.prio));
+            per_variant.push_back(std::move(per_wl));
+        }
+        cellAt.push_back(std::move(per_variant));
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
+
     std::printf("=== Sec. 4: idealized list scheduling with degraded "
                 "priority knowledge ===\n");
     std::printf("(average CPI normalized to the oracle list schedule "
@@ -39,26 +66,22 @@ main(int argc, char **argv)
 
     std::printf("%8s  %8s  %8s  %8s\n", "config", "oracle", "LoC",
                 "binary");
-    for (unsigned n : {2u, 4u, 8u}) {
+    const unsigned ns[] = {2u, 4u, 8u};
+    for (std::size_t ni = 0; ni < 3; ++ni) {
+        const unsigned n = ns[ni];
         std::printf("%8s", MachineConfig::clustered(n).name().c_str());
-        for (const auto &v : variants) {
+        for (std::size_t vi = 0; vi < 3; ++vi) {
             std::vector<double> ratios;
-            for (const std::string &wl : workloadNames()) {
-                AggregateResult base = runIdealAggregate(
-                    wl, MachineConfig::monolithic(), cfg,
-                    ListSchedOptions::Priority::DataflowHeight);
-                AggregateResult clus = runIdealAggregate(
-                    wl, MachineConfig::clustered(n), cfg, v.prio);
-                ratios.push_back(clus.cpi() / base.cpi());
-            }
+            for (std::size_t w = 0; w < workloads.size(); ++w)
+                ratios.push_back(outcome.at(cellAt[ni][vi][w]).cpi() /
+                                 outcome.at(baseCells[w]).cpi());
             std::printf("  %8.3f", mean(ratios));
             ctx.addScalar("normCpi." +
                               MachineConfig::clustered(n).name() + "." +
-                              v.name,
+                              variants[vi].name,
                           mean(ratios));
         }
         std::printf("\n");
-        std::fprintf(stderr, "  %u clusters done\n", n);
     }
 
     std::printf("\nPaper: LoC priorities lose only ~0.5-0.7%% vs the "

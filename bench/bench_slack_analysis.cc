@@ -13,12 +13,13 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hh"
 #include "critpath/slack.hh"
-#include "harness/experiment.hh"
 #include "harness/json_report.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace csim;
 
@@ -30,41 +31,63 @@ main(int argc, char **argv)
     cfg.seeds = {1};
     ctx.apply(cfg);
 
+    // One job per workload; rows are emitted in workload order.
+    struct Job
+    {
+        std::string workload;
+        double highVarianceFraction = 0.0;
+        double mispredMean = 0.0;
+        double correctMean = 0.0;
+        StatsSnapshot stats;
+    };
+    std::vector<Job> jobs;
+    for (const std::string &wl : workloadNames())
+        jobs.push_back(Job{wl, 0.0, 0.0, 0.0, {}});
+
+    SweepRunner &runner = ctx.runner();
+    runner.parallelFor(jobs.size(), [&](std::size_t i) {
+        Job &job = jobs[i];
+        WorkloadConfig wcfg;
+        wcfg.targetInstructions = cfg.instructions;
+        wcfg.seed = 1;
+        std::shared_ptr<const Trace> trace =
+            runner.cache().get(job.workload, wcfg);
+        PolicyRun run = runPolicy(*trace, MachineConfig::monolithic(),
+                                  PolicyKind::Focused, cfg);
+        SlackAnalysis sa = analyzeSlack(*trace, run.sim,
+                                        MachineConfig::monolithic());
+
+        // Split conditional-branch slack by prediction outcome.
+        RunningStat mispred, correct;
+        for (std::uint64_t k = 0; k < trace->size(); ++k) {
+            if (!(*trace)[k].isCondBranch)
+                continue;
+            const double s =
+                static_cast<double>(sa.localSlack[k]);
+            if ((*trace)[k].mispredicted)
+                mispred.add(s);
+            else
+                correct.add(s);
+        }
+        job.highVarianceFraction = sa.highVarianceFraction;
+        job.mispredMean = mispred.mean();
+        job.correctMean = correct.mean();
+        job.stats = run.sim.stats;
+    });
+
     std::printf("=== Sec. 4: slack is impractical as a static metric "
                 "===\n\n");
     TextTable t({"benchmark", "high-variance frac",
                  "branch slack (mispred)", "branch slack (correct)"});
 
-    for (const std::string &wl : workloadNames()) {
-        WorkloadConfig wcfg;
-        wcfg.targetInstructions = cfg.instructions;
-        wcfg.seed = 1;
-        Trace trace = buildAnnotatedTrace(wl, wcfg);
-        PolicyRun run = runPolicy(trace, MachineConfig::monolithic(),
-                                  PolicyKind::Focused, cfg);
-        SlackAnalysis sa = analyzeSlack(trace, run.sim,
-                                        MachineConfig::monolithic());
-
-        // Split conditional-branch slack by prediction outcome.
-        RunningStat mispred, correct;
-        for (std::uint64_t i = 0; i < trace.size(); ++i) {
-            if (!trace[i].isCondBranch)
-                continue;
-            const double s =
-                static_cast<double>(sa.localSlack[i]);
-            if (trace[i].mispredicted)
-                mispred.add(s);
-            else
-                correct.add(s);
-        }
-
-        t.addRow({wl, formatPercent(sa.highVarianceFraction, 1),
-                  formatDouble(mispred.mean(), 1),
-                  formatDouble(correct.mean(), 1)});
-        ctx.addRunStats(wl + "/1x8w/focused", run.sim.stats);
-        ctx.addScalar("highVarianceFraction." + wl,
-                      sa.highVarianceFraction);
-        std::fprintf(stderr, "  %s done\n", wl.c_str());
+    for (const Job &job : jobs) {
+        t.addRow({job.workload,
+                  formatPercent(job.highVarianceFraction, 1),
+                  formatDouble(job.mispredMean, 1),
+                  formatDouble(job.correctMean, 1)});
+        ctx.addRunStats(job.workload + "/1x8w/focused", job.stats);
+        ctx.addScalar("highVarianceFraction." + job.workload,
+                      job.highVarianceFraction);
     }
 
     std::printf("%s\n", t.str().c_str());

@@ -16,6 +16,7 @@
 #ifndef CSIM_COMMON_LOGGING_HH
 #define CSIM_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -88,16 +89,30 @@ enum class LogLevel : int
     Trace = 4,
 };
 
-/** The runtime-settable global log level (process-wide). */
-inline LogLevel &
+/**
+ * The runtime-settable global log level (process-wide). Atomic because
+ * sweep worker threads evaluate CSIM_LOG gates concurrently with any
+ * setLogLevel call; relaxed ordering suffices — the level is an
+ * independent flag, not a synchronization point.
+ */
+inline std::atomic<LogLevel> &
 logLevelRef()
 {
-    static LogLevel level = LogLevel::Warn;
+    static std::atomic<LogLevel> level{LogLevel::Warn};
     return level;
 }
 
-inline LogLevel logLevel() { return logLevelRef(); }
-inline void setLogLevel(LogLevel level) { logLevelRef() = level; }
+inline LogLevel
+logLevel()
+{
+    return logLevelRef().load(std::memory_order_relaxed);
+}
+
+inline void
+setLogLevel(LogLevel level)
+{
+    logLevelRef().store(level, std::memory_order_relaxed);
+}
 
 inline const char *
 logLevelName(LogLevel level)

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "harness/trace_cache.hh"
 #include "policy/scheduling.hh"
 #include "policy/steering.hh"
 
@@ -120,97 +121,149 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
     return out;
 }
 
-namespace {
-
 void
-accumulate(AggregateResult &agg, std::uint64_t instructions,
-           Cycle cycles, const CpBreakdown &bd,
-           std::uint64_t global_values, const StatsSnapshot &stats)
+AggregateResult::merge(const AggregateResult &other)
 {
-    agg.instructions += instructions;
-    agg.cycles += cycles;
+    instructions += other.instructions;
+    cycles += other.cycles;
     for (std::size_t c = 0; c < numCpCategories; ++c)
-        agg.categoryCycles[c] += bd.cycles[c];
-    agg.contentionEventsCritical += bd.contentionEventsCritical;
-    agg.contentionEventsOther += bd.contentionEventsOther;
-    agg.fwdEventsLoadBal += bd.fwdEventsLoadBal;
-    agg.fwdEventsDyadic += bd.fwdEventsDyadic;
-    agg.fwdEventsOther += bd.fwdEventsOther;
-    agg.globalValues += global_values;
-    agg.stats.merge(stats);
+        categoryCycles[c] += other.categoryCycles[c];
+    contentionEventsCritical += other.contentionEventsCritical;
+    contentionEventsOther += other.contentionEventsOther;
+    fwdEventsLoadBal += other.fwdEventsLoadBal;
+    fwdEventsDyadic += other.fwdEventsDyadic;
+    fwdEventsOther += other.fwdEventsOther;
+    globalValues += other.globalValues;
+    stats.merge(other.stats);
 }
 
-} // anonymous namespace
+namespace {
 
 AggregateResult
-runAggregate(const std::string &workload, const MachineConfig &machine,
-             PolicyKind kind, const ExperimentConfig &cfg)
+toAggregate(std::uint64_t instructions, Cycle cycles,
+            const CpBreakdown &bd, std::uint64_t global_values,
+            const StatsSnapshot &stats)
+{
+    AggregateResult r;
+    r.instructions = instructions;
+    r.cycles = cycles;
+    for (std::size_t c = 0; c < numCpCategories; ++c)
+        r.categoryCycles[c] = bd.cycles[c];
+    r.contentionEventsCritical = bd.contentionEventsCritical;
+    r.contentionEventsOther = bd.contentionEventsOther;
+    r.fwdEventsLoadBal = bd.fwdEventsLoadBal;
+    r.fwdEventsDyadic = bd.fwdEventsDyadic;
+    r.fwdEventsOther = bd.fwdEventsOther;
+    r.globalValues = global_values;
+    r.stats.merge(stats);
+    return r;
+}
+
+/**
+ * The per-seed aggregation loop shared by runAggregate and
+ * runIdealAggregate: build (or fetch) each seed's trace and merge the
+ * per-seed cell results in seed order.
+ */
+template <typename PerSeed>
+AggregateResult
+aggregateOverSeeds(const std::string &workload,
+                   const ExperimentConfig &cfg, TraceCache *cache,
+                   PerSeed &&per_seed)
 {
     AggregateResult agg;
     for (std::uint64_t seed : cfg.seeds) {
         WorkloadConfig wcfg;
         wcfg.targetInstructions = cfg.instructions;
         wcfg.seed = seed;
-        Trace trace = buildAnnotatedTrace(workload, wcfg);
-        PolicyRun run = runPolicy(trace, machine, kind, cfg);
-        accumulate(agg, run.sim.instructions, run.sim.cycles,
-                   run.breakdown, run.sim.globalValues, run.sim.stats);
+        if (cache) {
+            std::shared_ptr<const Trace> trace =
+                cache->get(workload, wcfg);
+            agg.merge(per_seed(*trace));
+        } else {
+            Trace trace = buildAnnotatedTrace(workload, wcfg);
+            agg.merge(per_seed(trace));
+        }
     }
     return agg;
+}
+
+} // anonymous namespace
+
+AggregateResult
+runPolicyCell(const Trace &trace, const MachineConfig &machine,
+              PolicyKind kind, const ExperimentConfig &cfg)
+{
+    PolicyRun run = runPolicy(trace, machine, kind, cfg);
+    return toAggregate(run.sim.instructions, run.sim.cycles,
+                       run.breakdown, run.sim.globalValues,
+                       run.sim.stats);
+}
+
+AggregateResult
+runIdealCell(const Trace &trace, const MachineConfig &machine,
+             const ExperimentConfig &cfg,
+             ListSchedOptions::Priority priority)
+{
+    const MachineConfig ref = MachineConfig::monolithic();
+
+    // Reference 1x8w run supplies the dispatch constraints (the
+    // paper schedules traces retiring from the 1x8w back end).
+    UnifiedSteering steering(UnifiedSteeringOptions{}, nullptr,
+                             nullptr);
+    AgeScheduling age;
+    SimResult ref_run = TimingSim(ref, trace, steering, age).run();
+
+    ListSchedOptions opts;
+    opts.priority = priority;
+
+    // The non-oracle priorities need trained predictors: train
+    // them with a focused run on the reference machine.
+    CriticalityPredictor crit;
+    LocPredictor loc;
+    if (priority != ListSchedOptions::Priority::DataflowHeight) {
+        OnlineCriticalityTrainer trainer(trace, &crit, &loc,
+                                         cfg.trainChunk);
+        UnifiedSteeringOptions fopt;
+        fopt.focusOnCritical = true;
+        UnifiedSteering fsteer(fopt, &crit, nullptr);
+        CriticalScheduling fsched(crit);
+        TimingSim train_sim(ref, trace, fsteer, fsched, &trainer);
+        (void)train_sim.run();
+        opts.locPred = &loc;
+        opts.critPred = &crit;
+    }
+
+    ListSchedResult sched =
+        listSchedule(trace, ref_run.timing, machine, opts);
+    CpBreakdown empty;
+    // The list scheduler has no registry of its own; keep the
+    // reference run's snapshot so ideal cells still carry stats.
+    return toAggregate(sched.instructions, sched.cycles, empty,
+                       sched.globalValues, ref_run.stats);
+}
+
+AggregateResult
+runAggregate(const std::string &workload, const MachineConfig &machine,
+             PolicyKind kind, const ExperimentConfig &cfg,
+             TraceCache *cache)
+{
+    return aggregateOverSeeds(
+        workload, cfg, cache, [&](const Trace &trace) {
+            return runPolicyCell(trace, machine, kind, cfg);
+        });
 }
 
 AggregateResult
 runIdealAggregate(const std::string &workload,
                   const MachineConfig &machine,
                   const ExperimentConfig &cfg,
-                  ListSchedOptions::Priority priority)
+                  ListSchedOptions::Priority priority,
+                  TraceCache *cache)
 {
-    AggregateResult agg;
-    const MachineConfig ref = MachineConfig::monolithic();
-
-    for (std::uint64_t seed : cfg.seeds) {
-        WorkloadConfig wcfg;
-        wcfg.targetInstructions = cfg.instructions;
-        wcfg.seed = seed;
-        Trace trace = buildAnnotatedTrace(workload, wcfg);
-
-        // Reference 1x8w run supplies the dispatch constraints (the
-        // paper schedules traces retiring from the 1x8w back end).
-        UnifiedSteering steering(UnifiedSteeringOptions{}, nullptr,
-                                 nullptr);
-        AgeScheduling age;
-        SimResult ref_run =
-            TimingSim(ref, trace, steering, age).run();
-
-        ListSchedOptions opts;
-        opts.priority = priority;
-
-        // The non-oracle priorities need trained predictors: train
-        // them with a focused run on the reference machine.
-        CriticalityPredictor crit;
-        LocPredictor loc;
-        if (priority != ListSchedOptions::Priority::DataflowHeight) {
-            OnlineCriticalityTrainer trainer(trace, &crit, &loc,
-                                             cfg.trainChunk);
-            UnifiedSteeringOptions fopt;
-            fopt.focusOnCritical = true;
-            UnifiedSteering fsteer(fopt, &crit, nullptr);
-            CriticalScheduling fsched(crit);
-            TimingSim train_sim(ref, trace, fsteer, fsched, &trainer);
-            (void)train_sim.run();
-            opts.locPred = &loc;
-            opts.critPred = &crit;
-        }
-
-        ListSchedResult sched =
-            listSchedule(trace, ref_run.timing, machine, opts);
-        CpBreakdown empty;
-        // The list scheduler has no registry of its own; keep the
-        // reference run's snapshot so ideal cells still carry stats.
-        accumulate(agg, sched.instructions, sched.cycles, empty,
-                   sched.globalValues, ref_run.stats);
-    }
-    return agg;
+    return aggregateOverSeeds(
+        workload, cfg, cache, [&](const Trace &trace) {
+            return runIdealCell(trace, machine, cfg, priority);
+        });
 }
 
 } // namespace csim

@@ -23,6 +23,8 @@
 
 namespace csim {
 
+class TraceCache;
+
 /** The steering/scheduling policy stacks evaluated in the paper. */
 enum class PolicyKind
 {
@@ -93,6 +95,15 @@ struct AggregateResult
         return instructions ? static_cast<double>(globalValues) /
             static_cast<double>(instructions) : 0.0;
     }
+
+    /**
+     * Fold another result in (the seed-accumulation step): integer
+     * fields sum, registry snapshots merge. Merging per-seed results
+     * in seed order is exactly the sequential aggregation loop, which
+     * is what lets the sweep runner compute cells in parallel and
+     * still produce bit-identical aggregates.
+     */
+    void merge(const AggregateResult &other);
 };
 
 /** One policy run over one already-built trace (no seed averaging). */
@@ -110,24 +121,51 @@ struct PolicyRun
 PolicyRun runPolicy(const Trace &trace, const MachineConfig &machine,
                     PolicyKind kind, const ExperimentConfig &cfg);
 
-/** Seed-averaged policy evaluation for one workload. */
+/**
+ * One (workload, machine, policy, seed) cell measured on an
+ * already-built trace: a runPolicy pass folded into AggregateResult
+ * form. This is the unit of work the sweep runner parallelizes.
+ */
+AggregateResult runPolicyCell(const Trace &trace,
+                              const MachineConfig &machine,
+                              PolicyKind kind,
+                              const ExperimentConfig &cfg);
+
+/**
+ * One idealized list-scheduling cell on an already-built trace
+ * (Sec. 2.2): a reference 1x8w run supplies dispatch constraints, the
+ * non-oracle priorities train their predictors with a focused run,
+ * then the trace is list-scheduled onto the target machine.
+ */
+AggregateResult runIdealCell(const Trace &trace,
+                             const MachineConfig &machine,
+                             const ExperimentConfig &cfg,
+                             ListSchedOptions::Priority priority =
+                                 ListSchedOptions::Priority::
+                                     DataflowHeight);
+
+/**
+ * Seed-averaged policy evaluation for one workload. With a cache the
+ * per-seed traces are fetched from (and retained by) it; without one
+ * they are built fresh, exactly as before the cache existed.
+ */
 AggregateResult runAggregate(const std::string &workload,
                              const MachineConfig &machine,
                              PolicyKind kind,
-                             const ExperimentConfig &cfg);
+                             const ExperimentConfig &cfg,
+                             TraceCache *cache = nullptr);
 
 /**
- * Seed-averaged idealized list scheduling (Sec. 2.2): for each seed,
- * runs the 1x8w reference machine (dependence steering, age
- * scheduling) to obtain dispatch constraints and then list-schedules
- * the trace onto the target machine.
+ * Seed-averaged idealized list scheduling (Sec. 2.2) — the seed loop
+ * over runIdealCell.
  */
 AggregateResult runIdealAggregate(const std::string &workload,
                                   const MachineConfig &machine,
                                   const ExperimentConfig &cfg,
                                   ListSchedOptions::Priority priority =
                                       ListSchedOptions::Priority::
-                                          DataflowHeight);
+                                          DataflowHeight,
+                                  TraceCache *cache = nullptr);
 
 } // namespace csim
 

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 
 namespace csim {
 
@@ -204,7 +205,7 @@ usage(const std::string &benchmark, const char *bad_arg)
 {
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--instructions N] "
-                 "[--seeds a,b,c]\n",
+                 "[--seeds a,b,c] [--threads N]\n",
                  benchmark.c_str());
     if (bad_arg)
         CSIM_FATAL_F("%s: unknown or incomplete argument '%s'",
@@ -236,7 +237,8 @@ parseSeedList(const std::string &benchmark, const std::string &arg)
 } // anonymous namespace
 
 BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
-    : benchmark_(std::move(benchmark))
+    : benchmark_(std::move(benchmark)),
+      start_(std::chrono::steady_clock::now())
 {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -254,6 +256,14 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
             if (v.empty() || *end != '\0' || instructions_ == 0)
                 CSIM_FATAL_F("%s: bad --instructions '%s'",
                              benchmark_.c_str(), v.c_str());
+        } else if (arg == "--threads") {
+            const std::string v = next();
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || n == 0)
+                CSIM_FATAL_F("%s: bad --threads '%s'",
+                             benchmark_.c_str(), v.c_str());
+            threadsArg_ = static_cast<unsigned>(n);
         } else if (arg == "--seeds") {
             seeds_ = parseSeedList(benchmark_, next());
         } else if (arg == "--help" || arg == "-h") {
@@ -262,6 +272,31 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
             usage(benchmark_, arg.c_str());
         }
     }
+}
+
+BenchContext::~BenchContext() = default;
+
+unsigned
+BenchContext::threads() const
+{
+    return threadsArg_ ? threadsArg_ : SweepRunner::defaultThreads();
+}
+
+TraceCache &
+BenchContext::traceCache()
+{
+    if (!cache_)
+        cache_ = std::make_unique<TraceCache>();
+    return *cache_;
+}
+
+SweepRunner &
+BenchContext::runner()
+{
+    if (!runner_)
+        runner_ =
+            std::make_unique<SweepRunner>(threads(), &traceCache());
+    return *runner_;
 }
 
 void
@@ -287,13 +322,20 @@ BenchContext::addRunStats(const std::string &label,
 }
 
 void
+BenchContext::addSweepRuns(const SweepOutcome &outcome)
+{
+    for (std::size_t i = 0; i < outcome.cells.size(); ++i)
+        addRunStats(outcome.cells[i].label(), outcome.results[i].stats);
+}
+
+void
 BenchContext::addScalar(const std::string &name, double value)
 {
     scalars_.emplace_back(name, value);
 }
 
 int
-BenchContext::finish() const
+BenchContext::finish()
 {
     if (jsonPath_.empty())
         return 0;
@@ -303,10 +345,17 @@ BenchContext::finish() const
         CSIM_FATAL_F("%s: cannot open --json path '%s'",
                      benchmark_.c_str(), jsonPath_.c_str());
 
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+
     JsonWriter w(out);
     w.beginObject();
-    w.key("schemaVersion").value(1);
+    w.key("schemaVersion").value(2);
     w.key("benchmark").value(benchmark_);
+    w.key("threads").value(std::uint64_t{threads()});
+    w.key("wallSeconds").value(wall);
 
     w.key("grids").beginArray();
     for (const FigureGrid &g : grids_)
@@ -324,6 +373,16 @@ BenchContext::finish() const
         w.key("label").value(label);
         w.key("stats");
         writeSnapshot(w, snap);
+        w.endObject();
+    }
+    // Cache activity counts are thread-count invariant (concurrent
+    // requesters of an in-flight build count as hits), so this entry
+    // is part of the byte-identical region of the report.
+    if (cache_) {
+        w.beginObject();
+        w.key("label").value("traceCache");
+        w.key("stats");
+        writeSnapshot(w, cache_->statsSnapshot());
         w.endObject();
     }
     w.endArray();

@@ -4,27 +4,37 @@
  *
  * JsonWriter is a tiny streaming JSON emitter (no external deps);
  * BenchContext is the shared command-line front end of every bench
- * binary: it parses `--json <path>`, `--instructions N` and
- * `--seeds a,b,c`, collects FigureGrids, scalars and per-run registry
- * snapshots while the bench runs, and on finish() writes one report
- * file with a stable schema (see README "Observability"):
+ * binary: it parses `--json <path>`, `--instructions N`,
+ * `--seeds a,b,c` and `--threads N`, owns the sweep runner + trace
+ * cache the bench executes on, collects FigureGrids, scalars and
+ * per-run registry snapshots while the bench runs, and on finish()
+ * writes one report file with a stable schema (see README
+ * "Observability"):
  *
  *   {
- *     "schemaVersion": 1,
+ *     "schemaVersion": 2,
  *     "benchmark": "<name>",
+ *     "threads": <worker thread count>,
+ *     "wallSeconds": <bench wall-clock time>,
  *     "grids":   [{"title", "columns", "rows", "averages"}, ...],
  *     "scalars": {"<name>": <number>, ...},
  *     "runs":    [{"label": "<wl/machine/policy>",
- *                  "stats": {"<stat>": <number> | {distribution}}}]
+ *                  "stats": {"<stat>": <number> | {distribution}}},
+ *                 ...,
+ *                 {"label": "traceCache", "stats": {...}}]
  *   }
  *
- * tools/check_bench_json.py validates this schema in CI.
+ * Apart from "threads" and "wallSeconds" the report is byte-identical
+ * across thread counts. tools/check_bench_json.py validates this
+ * schema in CI.
  */
 
 #ifndef CSIM_HARNESS_JSON_REPORT_HH
 #define CSIM_HARNESS_JSON_REPORT_HH
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -36,6 +46,9 @@
 namespace csim {
 
 struct ExperimentConfig;
+struct SweepOutcome;
+class SweepRunner;
+class TraceCache;
 
 /**
  * Minimal streaming JSON writer. The caller drives the structure
@@ -96,6 +109,7 @@ class BenchContext
   public:
     /** Parses argv; unknown flags are fatal (prints usage first). */
     BenchContext(std::string benchmark, int argc, char **argv);
+    ~BenchContext();
 
     /** Apply --instructions / --seeds overrides to a config. */
     void apply(ExperimentConfig &cfg) const;
@@ -103,23 +117,39 @@ class BenchContext
     bool jsonRequested() const { return !jsonPath_.empty(); }
     const std::string &jsonPath() const { return jsonPath_; }
 
+    /** Worker threads (--threads, CSIM_THREADS, hw concurrency). */
+    unsigned threads() const;
+
+    /** The bench-wide trace cache (shared by runner()). */
+    TraceCache &traceCache();
+
+    /** The bench's sweep runner, created on first use. */
+    SweepRunner &runner();
+
     /** Record a finished grid (copied; call after the grid is full). */
     void addGrid(const FigureGrid &grid);
 
     /** Record one aggregate cell's merged registry snapshot. */
     void addRunStats(const std::string &label, const StatsSnapshot &s);
 
+    /** Record every cell of a sweep outcome via addRunStats. */
+    void addSweepRuns(const SweepOutcome &outcome);
+
     /** Record a loose named number (model params, derived metrics). */
     void addScalar(const std::string &name, double value);
 
     /** Write the JSON report if --json was given; returns exit code. */
-    int finish() const;
+    int finish();
 
   private:
     std::string benchmark_;
     std::string jsonPath_;
     std::uint64_t instructions_ = 0;      ///< 0: keep bench default
     std::vector<std::uint64_t> seeds_;    ///< empty: keep bench default
+    unsigned threadsArg_ = 0;             ///< 0: resolve automatically
+    std::chrono::steady_clock::time_point start_;
+    std::unique_ptr<TraceCache> cache_;
+    std::unique_ptr<SweepRunner> runner_;
     std::vector<FigureGrid> grids_;
     std::vector<std::pair<std::string, StatsSnapshot>> runs_;
     std::vector<std::pair<std::string, double>> scalars_;

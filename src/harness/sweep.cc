@@ -1,0 +1,200 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+namespace {
+
+const char *
+priorityName(ListSchedOptions::Priority priority)
+{
+    switch (priority) {
+      case ListSchedOptions::Priority::DataflowHeight:
+        return "ideal";
+      case ListSchedOptions::Priority::Loc:
+        return "ideal-loc";
+      case ListSchedOptions::Priority::BinaryCritical:
+        return "ideal-binary";
+      default:
+        CSIM_PANIC("priorityName: bad priority");
+    }
+}
+
+} // anonymous namespace
+
+std::string
+SweepCell::label() const
+{
+    std::string out = workload;
+    out += '/';
+    out += machine.name();
+    out += '/';
+    out += mode == CellMode::Timing ? policyName(policy)
+                                    : priorityName(priority);
+    return out;
+}
+
+std::size_t
+SweepSpec::add(SweepCell cell)
+{
+    cells.push_back(std::move(cell));
+    return cells.size() - 1;
+}
+
+std::size_t
+SweepSpec::addTiming(std::string workload, MachineConfig machine,
+                     PolicyKind policy)
+{
+    SweepCell cell;
+    cell.workload = std::move(workload);
+    cell.machine = machine;
+    cell.mode = CellMode::Timing;
+    cell.policy = policy;
+    return add(std::move(cell));
+}
+
+std::size_t
+SweepSpec::addIdeal(std::string workload, MachineConfig machine,
+                    ListSchedOptions::Priority priority)
+{
+    SweepCell cell;
+    cell.workload = std::move(workload);
+    cell.machine = machine;
+    cell.mode = CellMode::Ideal;
+    cell.priority = priority;
+    return add(std::move(cell));
+}
+
+void
+SweepSpec::crossTiming(const std::vector<std::string> &workloads,
+                       const std::vector<MachineConfig> &machines,
+                       const std::vector<PolicyKind> &policies)
+{
+    for (const std::string &wl : workloads)
+        for (const MachineConfig &machine : machines)
+            for (PolicyKind policy : policies)
+                addTiming(wl, machine, policy);
+}
+
+const ExperimentConfig &
+SweepSpec::cellConfig(std::size_t i) const
+{
+    const SweepCell &cell = cells.at(i);
+    return cell.cfg ? *cell.cfg : cfg;
+}
+
+SweepRunner::SweepRunner(unsigned threads, TraceCache *cache)
+    : threads_(threads ? threads : defaultThreads()), cache_(cache)
+{
+}
+
+unsigned
+SweepRunner::defaultThreads()
+{
+    if (const char *env = std::getenv("CSIM_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+        CSIM_LOG(Warn, "ignoring invalid CSIM_THREADS value '%s'",
+                 env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+SweepRunner::parallelFor(std::size_t n,
+                         const std::function<void(std::size_t)> &fn)
+{
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Atomic-counter work stealing: whichever worker is free claims
+    // the next index. Claim order is nondeterministic; determinism is
+    // the caller's job (each index writes only its own result slot).
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+SweepOutcome
+SweepRunner::run(const SweepSpec &spec)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    // Expand cells into independent (cell, seed) jobs, cell-major with
+    // seeds in declaration order — the same order the sequential
+    // aggregation loop visits them.
+    struct Job
+    {
+        std::size_t cell;
+        std::uint64_t seed;
+    };
+    std::vector<Job> jobs;
+    for (std::size_t c = 0; c < spec.cells.size(); ++c)
+        for (std::uint64_t seed : spec.cellConfig(c).seeds)
+            jobs.push_back(Job{c, seed});
+
+    std::vector<AggregateResult> jobResults(jobs.size());
+    parallelFor(jobs.size(), [&](std::size_t i) {
+        const Job &job = jobs[i];
+        const SweepCell &cell = spec.cells[job.cell];
+        const ExperimentConfig &cfg = spec.cellConfig(job.cell);
+
+        WorkloadConfig wcfg;
+        wcfg.targetInstructions = cfg.instructions;
+        wcfg.seed = job.seed;
+        std::shared_ptr<const Trace> trace =
+            cache().get(cell.workload, wcfg);
+
+        jobResults[i] =
+            cell.mode == CellMode::Timing
+                ? runPolicyCell(*trace, cell.machine, cell.policy, cfg)
+                : runIdealCell(*trace, cell.machine, cfg,
+                               cell.priority);
+    });
+
+    // Merge per-seed results in job (= cell-major, seed) order: this
+    // replays the exact merge sequence of the sequential path, so the
+    // outcome is bit-identical regardless of thread count.
+    SweepOutcome out;
+    out.cells = spec.cells;
+    out.results.resize(spec.cells.size());
+    out.threads = threads_;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        out.results[jobs[i].cell].merge(jobResults[i]);
+
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return out;
+}
+
+} // namespace csim

@@ -1,0 +1,200 @@
+#include "harness/trace_cache.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+namespace {
+
+std::string
+cacheKey(const std::string &workload, const WorkloadConfig &cfg,
+         const MemoryModelConfig &mem, unsigned gshare_bits)
+{
+    std::ostringstream key;
+    key << workload << '|' << cfg.seed << '|' << cfg.targetInstructions
+        << '|' << mem.l1.sizeBytes << ',' << mem.l1.assoc << ','
+        << mem.l1.lineBytes << '|' << mem.loadToUse << ','
+        << mem.l2Latency << '|' << gshare_bits;
+    return key.str();
+}
+
+std::size_t
+traceBytes(const Trace &trace)
+{
+    return trace.size() * sizeof(TraceRecord);
+}
+
+} // anonymous namespace
+
+TraceCache::TraceCache(std::size_t capacity_bytes)
+    : capacityBytes_(capacity_bytes)
+{
+    statRequests_ = &registry_.addCounter(
+        "traceCache.requests", "trace lookups (hits + builds)");
+    statBuilds_ = &registry_.addCounter(
+        "traceCache.builds", "annotated traces built");
+    statHits_ = &registry_.addCounter(
+        "traceCache.hits", "lookups served from the cache");
+    statEvictions_ = &registry_.addCounter(
+        "traceCache.evictions", "entries evicted by the byte budget");
+    statBytesBuilt_ = &registry_.addCounter(
+        "traceCache.bytesBuilt", "total bytes of traces built");
+    statBytesEvicted_ = &registry_.addCounter(
+        "traceCache.bytesEvicted", "total bytes evicted");
+    registry_.addFormula(
+        "traceCache.bytesHeld", [this] {
+            return static_cast<double>(bytesHeld_);
+        },
+        "bytes currently held");
+    registry_.addFormula(
+        "traceCache.peakBytes", [this] {
+            return static_cast<double>(peakBytes_);
+        },
+        "high-water mark of bytes held");
+    registry_.addFormula(
+        "traceCache.entriesHeld", [this] {
+            return static_cast<double>(slots_.size());
+        },
+        "entries currently held");
+    registry_.addFormula(
+        "traceCache.hitRate", [this] {
+            const double reqs =
+                static_cast<double>(statRequests_->value());
+            return reqs > 0.0 ?
+                static_cast<double>(statHits_->value()) / reqs : 0.0;
+        },
+        "fraction of lookups served without a build");
+}
+
+std::shared_ptr<const Trace>
+TraceCache::get(const std::string &workload, const WorkloadConfig &cfg,
+                const MemoryModelConfig &mem, unsigned gshare_bits)
+{
+    const std::string key = cacheKey(workload, cfg, mem, gshare_bits);
+
+    std::promise<std::shared_ptr<const Trace>> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++*statRequests_;
+        auto it = slots_.find(key);
+        if (it != slots_.end()) {
+            ++*statHits_;
+            it->second.lastUse = ++tick_;
+            // May still be in flight on another thread: waiting on the
+            // shared future (outside the lock) covers both cases.
+            auto future = it->second.future;
+            return future.get();
+        }
+        ++*statBuilds_;
+        Slot slot;
+        slot.future = promise.get_future().share();
+        slot.lastUse = ++tick_;
+        slots_.emplace(key, std::move(slot));
+    }
+
+    // Build outside the lock so unrelated builds proceed in parallel.
+    std::shared_ptr<const Trace> trace =
+        buildSharedAnnotatedTrace(workload, cfg, mem, gshare_bits);
+    promise.set_value(trace);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = slots_.find(key);
+        CSIM_ASSERT(it != slots_.end()); // in-flight: never evicted
+        it->second.ready = true;
+        it->second.bytes = traceBytes(*trace);
+        bytesHeld_ += it->second.bytes;
+        peakBytes_ = std::max(peakBytes_, bytesHeld_);
+        *statBytesBuilt_ += it->second.bytes;
+        evictLocked(key);
+    }
+    return trace;
+}
+
+void
+TraceCache::evictLocked(const std::string &protect_key)
+{
+    if (capacityBytes_ == 0)
+        return;
+    while (bytesHeld_ > capacityBytes_) {
+        auto victim = slots_.end();
+        for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+            if (!it->second.ready || it->first == protect_key)
+                continue;
+            if (victim == slots_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == slots_.end())
+            return; // only the protected / in-flight entries remain
+        bytesHeld_ -= victim->second.bytes;
+        ++*statEvictions_;
+        *statBytesEvicted_ += victim->second.bytes;
+        slots_.erase(victim);
+    }
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[key, slot] : slots_)
+        CSIM_ASSERT(slot.ready);
+    slots_.clear();
+    bytesHeld_ = 0;
+}
+
+std::uint64_t
+TraceCache::requests() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return statRequests_->value();
+}
+
+std::uint64_t
+TraceCache::builds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return statBuilds_->value();
+}
+
+std::uint64_t
+TraceCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return statHits_->value();
+}
+
+std::uint64_t
+TraceCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return statEvictions_->value();
+}
+
+std::size_t
+TraceCache::bytesHeld() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytesHeld_;
+}
+
+std::size_t
+TraceCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+StatsSnapshot
+TraceCache::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return registry_.snapshot();
+}
+
+} // namespace csim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared annotated-trace cache for experiment sweeps.
+ *
+ * Every (workload, seed, instructions, memory-config, gshare-bits)
+ * combination maps to exactly one annotated trace, which is built once
+ * and then shared immutably (shared_ptr<const Trace>) across all
+ * experiment cells that need it — the trace-build passes (emulation,
+ * producer linking, branch and cache annotation) are deterministic, so
+ * a cached trace is bit-identical to a fresh build. The cache is
+ * thread-safe: concurrent requests for a trace that is still being
+ * built block on the in-flight build instead of duplicating it.
+ *
+ * An optional byte budget evicts least-recently-used entries; evicted
+ * traces stay alive for as long as any cell still holds its
+ * shared_ptr. Cache activity (builds, hits, evictions, bytes held) is
+ * reported through a StatsRegistry so bench JSON reports can show how
+ * much redundant work the cache removed.
+ */
+
+#ifndef CSIM_HARNESS_TRACE_CACHE_HH
+#define CSIM_HARNESS_TRACE_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/stats_registry.hh"
+#include "workloads/registry.hh"
+
+namespace csim {
+
+class TraceCache
+{
+  public:
+    /** @param capacity_bytes LRU byte budget; 0 means unlimited. */
+    explicit TraceCache(std::size_t capacity_bytes = 0);
+
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * The annotated trace for this cell key, building it on first use.
+     * Blocks if another thread is currently building the same trace.
+     */
+    std::shared_ptr<const Trace>
+    get(const std::string &workload, const WorkloadConfig &cfg,
+        const MemoryModelConfig &mem = MemoryModelConfig{},
+        unsigned gshare_bits = 16);
+
+    /** Drop every cached entry (in-flight builds must have finished). */
+    void clear();
+
+    // Activity counters (all monotonic except bytesHeld/entries).
+    std::uint64_t requests() const;
+    std::uint64_t builds() const;
+    std::uint64_t hits() const;
+    std::uint64_t evictions() const;
+    std::size_t bytesHeld() const;
+    std::size_t entries() const;
+
+    /** Frozen view of the cache's stats registry ("traceCache.*"). */
+    StatsSnapshot statsSnapshot() const;
+
+  private:
+    struct Slot
+    {
+        std::shared_future<std::shared_ptr<const Trace>> future;
+        /** Approximate footprint; known once the build finished. */
+        std::size_t bytes = 0;
+        bool ready = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Evict ready LRU entries beyond the byte budget (lock held).
+     *  The entry named by protect_key is never evicted. */
+    void evictLocked(const std::string &protect_key);
+
+    const std::size_t capacityBytes_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Slot> slots_;
+    std::uint64_t tick_ = 0;
+    std::size_t bytesHeld_ = 0;
+    std::size_t peakBytes_ = 0;
+
+    StatsRegistry registry_;
+    Counter *statRequests_ = nullptr;
+    Counter *statBuilds_ = nullptr;
+    Counter *statHits_ = nullptr;
+    Counter *statEvictions_ = nullptr;
+    Counter *statBytesBuilt_ = nullptr;
+    Counter *statBytesEvicted_ = nullptr;
+};
+
+} // namespace csim
+
+#endif // CSIM_HARNESS_TRACE_CACHE_HH

@@ -69,4 +69,14 @@ buildAnnotatedTrace(const std::string &name, const WorkloadConfig &cfg,
     return trace;
 }
 
+std::shared_ptr<const Trace>
+buildSharedAnnotatedTrace(const std::string &name,
+                          const WorkloadConfig &cfg,
+                          const MemoryModelConfig &mem,
+                          unsigned gshare_bits)
+{
+    return std::make_shared<const Trace>(
+        buildAnnotatedTrace(name, cfg, mem, gshare_bits));
+}
+
 } // namespace csim

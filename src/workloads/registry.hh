@@ -8,6 +8,7 @@
 #ifndef CSIM_WORKLOADS_REGISTRY_HH
 #define CSIM_WORKLOADS_REGISTRY_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,19 @@ Trace buildWorkloadTrace(const std::string &name,
  * branch mispredictions (gshare) and load latencies (L1 model).
  */
 Trace buildAnnotatedTrace(const std::string &name,
+                          const WorkloadConfig &cfg,
+                          const MemoryModelConfig &mem =
+                              MemoryModelConfig{},
+                          unsigned gshare_bits = 16);
+
+/**
+ * Build an annotated trace into immutable shared storage. This is the
+ * form the harness TraceCache hands to concurrently running experiment
+ * cells: every consumer downstream of the annotation passes takes
+ * `const Trace &`, so one build can back any number of cells.
+ */
+std::shared_ptr<const Trace>
+buildSharedAnnotatedTrace(const std::string &name,
                           const WorkloadConfig &cfg,
                           const MemoryModelConfig &mem =
                               MemoryModelConfig{},

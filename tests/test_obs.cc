@@ -414,9 +414,11 @@ TEST(JsonReport, BenchContextRoundTrip)
     const std::string json = ss.str();
 
     // Structural spot checks on the emitted document.
-    EXPECT_NE(json.find("\"schemaVersion\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\":2"), std::string::npos);
     EXPECT_NE(json.find("\"benchmark\":\"test_bench\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"threads\":"), std::string::npos);
+    EXPECT_NE(json.find("\"wallSeconds\":"), std::string::npos);
     EXPECT_NE(json.find("\"title\":\"t\""), std::string::npos);
     EXPECT_NE(json.find("\"c1\":1.5"), std::string::npos);
     EXPECT_NE(json.find("\"answer\":42"), std::string::npos);

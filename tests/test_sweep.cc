@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Sweep engine tests: TraceCache build-once/hit/eviction semantics,
+ * SweepRunner determinism across thread counts (bit-identical
+ * aggregates, including the merged stats snapshots), equivalence with
+ * the legacy sequential entry points, and BenchContext's --threads
+ * front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/json_report.hh"
+#include "harness/sweep.hh"
+#include "harness/trace_cache.hh"
+
+namespace csim {
+namespace {
+
+WorkloadConfig
+smallWorkload(std::uint64_t seed, std::uint64_t instructions = 4000)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = instructions;
+    cfg.seed = seed;
+    return cfg;
+}
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.instructions = 4000;
+    cfg.seeds = {1, 2};
+    return cfg;
+}
+
+// ---------------------------------------------------------------- //
+// TraceCache
+
+TEST(TraceCache, BuildsOnceAndHits)
+{
+    TraceCache cache;
+    auto a = cache.get("gzip", smallWorkload(1));
+    auto b = cache.get("gzip", smallWorkload(1));
+    EXPECT_EQ(a.get(), b.get());  // shared, not rebuilt
+    EXPECT_EQ(cache.requests(), 2u);
+    EXPECT_EQ(cache.builds(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_GT(cache.bytesHeld(), 0u);
+}
+
+TEST(TraceCache, DistinctKeysBuildSeparately)
+{
+    TraceCache cache;
+    auto a = cache.get("gzip", smallWorkload(1));
+    auto b = cache.get("gzip", smallWorkload(2));        // seed
+    auto c = cache.get("mcf", smallWorkload(1));         // workload
+    auto d = cache.get("gzip", smallWorkload(1, 2000));  // length
+    MemoryModelConfig mem;
+    mem.l2Latency = 77;
+    auto e = cache.get("gzip", smallWorkload(1), mem);   // mem config
+    EXPECT_EQ(cache.builds(), 5u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_NE(a.get(), d.get());
+    EXPECT_NE(a.get(), e.get());
+}
+
+TEST(TraceCache, CachedTraceMatchesFreshBuild)
+{
+    TraceCache cache;
+    auto cached = cache.get("vpr", smallWorkload(3));
+    Trace fresh = buildAnnotatedTrace("vpr", smallWorkload(3));
+    ASSERT_EQ(cached->size(), fresh.size());
+    for (std::uint64_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ((*cached)[i].pc, fresh[i].pc);
+        EXPECT_EQ((*cached)[i].mispredicted, fresh[i].mispredicted);
+    }
+}
+
+TEST(TraceCache, EvictsLruByByteBudget)
+{
+    // Capacity of one trace: the second insert evicts the first.
+    TraceCache probe;
+    auto first = probe.get("gzip", smallWorkload(1));
+    const std::size_t one = probe.bytesHeld();
+    ASSERT_GT(one, 0u);
+
+    TraceCache cache(one);
+    auto a = cache.get("gzip", smallWorkload(1));
+    EXPECT_EQ(cache.evictions(), 0u);
+    auto b = cache.get("gzip", smallWorkload(2));
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_LE(cache.bytesHeld(), one);
+
+    // The evicted trace stays alive through the held shared_ptr, and
+    // re-requesting it is a rebuild, not a hit.
+    EXPECT_GT(a->size(), 0u);
+    auto a2 = cache.get("gzip", smallWorkload(1));
+    EXPECT_EQ(cache.builds(), 3u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(TraceCache, UnlimitedCapacityNeverEvicts)
+{
+    TraceCache cache;  // capacity 0 = unlimited
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        cache.get("gzip", smallWorkload(seed));
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.entries(), 4u);
+}
+
+TEST(TraceCache, ClearDropsEntries)
+{
+    TraceCache cache;
+    cache.get("gzip", smallWorkload(1));
+    cache.clear();
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.bytesHeld(), 0u);
+    cache.get("gzip", smallWorkload(1));
+    EXPECT_EQ(cache.builds(), 2u);
+}
+
+TEST(TraceCache, StatsSnapshotCarriesRegistry)
+{
+    TraceCache cache;
+    cache.get("gzip", smallWorkload(1));
+    cache.get("gzip", smallWorkload(1));
+    StatsSnapshot snap = cache.statsSnapshot();
+    EXPECT_GE(snap.size(), 10u);  // CI validates --min-stats 10
+    EXPECT_EQ(snap.value("traceCache.requests"), 2.0);
+    EXPECT_EQ(snap.value("traceCache.builds"), 1.0);
+    EXPECT_EQ(snap.value("traceCache.hits"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.value("traceCache.hitRate"), 0.5);
+    EXPECT_GT(snap.value("traceCache.bytesHeld"), 0.0);
+    EXPECT_GT(snap.value("traceCache.peakBytes"), 0.0);
+    EXPECT_EQ(snap.value("traceCache.entriesHeld"), 1.0);
+    EXPECT_EQ(snap.value("traceCache.evictions"), 0.0);
+}
+
+// ---------------------------------------------------------------- //
+// SweepSpec
+
+TEST(SweepSpec, CrossTimingIsWorkloadMajor)
+{
+    SweepSpec spec;
+    spec.crossTiming({"gzip", "mcf"},
+                     {MachineConfig::monolithic(),
+                      MachineConfig::clustered(4)},
+                     {PolicyKind::ModN});
+    ASSERT_EQ(spec.cells.size(), 4u);
+    EXPECT_EQ(spec.cells[0].label(), "gzip/1x8w/mod-n");
+    EXPECT_EQ(spec.cells[1].label(), "gzip/4x2w/mod-n");
+    EXPECT_EQ(spec.cells[2].label(), "mcf/1x8w/mod-n");
+    EXPECT_EQ(spec.cells[3].label(), "mcf/4x2w/mod-n");
+}
+
+TEST(SweepSpec, LabelsAndPerCellConfig)
+{
+    SweepSpec spec;
+    spec.cfg.instructions = 123;
+    const std::size_t a =
+        spec.addIdeal("vpr", MachineConfig::clustered(2),
+                      ListSchedOptions::Priority::Loc);
+    SweepCell override_cell;
+    override_cell.workload = "gcc";
+    override_cell.machine = MachineConfig::clustered(8);
+    override_cell.policy = PolicyKind::FocusedLocStall;
+    ExperimentConfig special;
+    special.instructions = 456;
+    override_cell.cfg = special;
+    const std::size_t b = spec.add(override_cell);
+
+    EXPECT_EQ(spec.cells[a].label(), "vpr/2x4w/ideal-loc");
+    EXPECT_EQ(spec.cells[b].label(), "gcc/8x1w/focused+loc+stall");
+    EXPECT_EQ(spec.cellConfig(a).instructions, 123u);
+    EXPECT_EQ(spec.cellConfig(b).instructions, 456u);
+}
+
+// ---------------------------------------------------------------- //
+// SweepRunner
+
+void
+expectSnapshotsEqual(const StatsSnapshot &a, const StatsSnapshot &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    const auto &ea = a.entries();
+    const auto &eb = b.entries();
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].first, eb[i].first);
+        const StatValue &va = ea[i].second;
+        const StatValue &vb = eb[i].second;
+        EXPECT_EQ(va.kind, vb.kind) << ea[i].first;
+        EXPECT_EQ(va.value, vb.value) << ea[i].first;
+        EXPECT_EQ(va.buckets, vb.buckets) << ea[i].first;
+        EXPECT_EQ(va.mergeCount, vb.mergeCount) << ea[i].first;
+    }
+}
+
+void
+expectResultsEqual(const AggregateResult &a, const AggregateResult &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    for (std::size_t c = 0; c < numCpCategories; ++c)
+        EXPECT_EQ(a.categoryCycles[c], b.categoryCycles[c]);
+    EXPECT_EQ(a.contentionEventsCritical, b.contentionEventsCritical);
+    EXPECT_EQ(a.contentionEventsOther, b.contentionEventsOther);
+    EXPECT_EQ(a.fwdEventsLoadBal, b.fwdEventsLoadBal);
+    EXPECT_EQ(a.fwdEventsDyadic, b.fwdEventsDyadic);
+    EXPECT_EQ(a.fwdEventsOther, b.fwdEventsOther);
+    EXPECT_EQ(a.globalValues, b.globalValues);
+    expectSnapshotsEqual(a.stats, b.stats);
+}
+
+SweepSpec
+mixedSpec()
+{
+    SweepSpec spec;
+    spec.cfg = smallConfig();
+    spec.addTiming("gzip", MachineConfig::clustered(4),
+                   PolicyKind::Focused);
+    spec.addTiming("gzip", MachineConfig::monolithic(),
+                   PolicyKind::ModN);
+    spec.addIdeal("mcf", MachineConfig::clustered(2));
+    // A per-cell override exercises cellConfig plumbing.
+    SweepCell special;
+    special.workload = "gzip";
+    special.machine = MachineConfig::clustered(2);
+    special.policy = PolicyKind::LoadBal;
+    ExperimentConfig cfg = smallConfig();
+    cfg.seeds = {7};
+    special.cfg = cfg;
+    spec.add(special);
+    return spec;
+}
+
+TEST(SweepRunner, ParallelMatchesSequentialBitForBit)
+{
+    const SweepSpec spec = mixedSpec();
+    SweepRunner seq(1);
+    SweepRunner par(4);
+    const SweepOutcome a = seq.run(spec);
+    const SweepOutcome b = par.run(spec);
+
+    EXPECT_EQ(a.threads, 1u);
+    EXPECT_EQ(b.threads, 4u);
+    ASSERT_EQ(a.results.size(), spec.cells.size());
+    ASSERT_EQ(b.results.size(), spec.cells.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i)
+        expectResultsEqual(a.results[i], b.results[i]);
+}
+
+TEST(SweepRunner, MatchesLegacySequentialAggregates)
+{
+    const ExperimentConfig cfg = smallConfig();
+    SweepSpec spec;
+    spec.cfg = cfg;
+    const std::size_t timing = spec.addTiming(
+        "gzip", MachineConfig::clustered(4), PolicyKind::Focused);
+    const std::size_t ideal =
+        spec.addIdeal("mcf", MachineConfig::clustered(2));
+
+    SweepRunner runner(2);
+    const SweepOutcome out = runner.run(spec);
+
+    const AggregateResult legacy_timing = runAggregate(
+        "gzip", MachineConfig::clustered(4), PolicyKind::Focused, cfg);
+    const AggregateResult legacy_ideal = runIdealAggregate(
+        "mcf", MachineConfig::clustered(2), cfg);
+    expectResultsEqual(out.at(timing), legacy_timing);
+    expectResultsEqual(out.at(ideal), legacy_ideal);
+}
+
+TEST(SweepRunner, SharesTracesAcrossCells)
+{
+    SweepSpec spec;
+    spec.cfg = smallConfig();
+    spec.crossTiming({"gzip"},
+                     {MachineConfig::monolithic(),
+                      MachineConfig::clustered(4)},
+                     {PolicyKind::ModN, PolicyKind::LoadBal});
+    SweepRunner runner(2);
+    (void)runner.run(spec);
+    // 4 cells x 2 seeds = 8 jobs but only 2 distinct traces.
+    EXPECT_EQ(runner.cache().requests(), 8u);
+    EXPECT_EQ(runner.cache().builds(), 2u);
+    EXPECT_EQ(runner.cache().hits(), 6u);
+}
+
+TEST(SweepRunner, ExternalCacheIsUsed)
+{
+    TraceCache cache;
+    SweepSpec spec;
+    spec.cfg = smallConfig();
+    spec.addTiming("gzip", MachineConfig::monolithic(),
+                   PolicyKind::ModN);
+    SweepRunner runner(2, &cache);
+    EXPECT_EQ(&runner.cache(), &cache);
+    (void)runner.run(spec);
+    EXPECT_EQ(cache.builds(), 2u);  // one per seed
+}
+
+TEST(SweepRunner, ParallelForCoversAllIndicesOnce)
+{
+    SweepRunner runner(4);
+    std::vector<int> touched(257, 0);
+    runner.parallelFor(touched.size(), [&](std::size_t i) {
+        ++touched[i];  // each index owned by exactly one job
+    });
+    for (std::size_t i = 0; i < touched.size(); ++i)
+        EXPECT_EQ(touched[i], 1) << i;
+}
+
+TEST(SweepRunner, WallTimeAndCellsRecorded)
+{
+    SweepSpec spec;
+    spec.cfg = smallConfig();
+    spec.addTiming("gzip", MachineConfig::monolithic(),
+                   PolicyKind::ModN);
+    SweepRunner runner(1);
+    const SweepOutcome out = runner.run(spec);
+    ASSERT_EQ(out.cells.size(), 1u);
+    EXPECT_EQ(out.cells[0].label(), "gzip/1x8w/mod-n");
+    EXPECT_GE(out.wallSeconds, 0.0);
+    EXPECT_GT(out.at(0).instructions, 0u);
+}
+
+TEST(SweepRunner, DefaultThreadsReadsEnv)
+{
+    ASSERT_EQ(setenv("CSIM_THREADS", "3", 1), 0);
+    EXPECT_EQ(SweepRunner::defaultThreads(), 3u);
+    ASSERT_EQ(setenv("CSIM_THREADS", "junk", 1), 0);
+    EXPECT_GE(SweepRunner::defaultThreads(), 1u);
+    ASSERT_EQ(unsetenv("CSIM_THREADS"), 0);
+    EXPECT_GE(SweepRunner::defaultThreads(), 1u);
+}
+
+// ---------------------------------------------------------------- //
+// BenchContext front end
+
+TEST(BenchContextThreads, FlagOverridesDefault)
+{
+    const char *argv[] = {"bench", "--threads", "5"};
+    BenchContext ctx("bench", 3, const_cast<char **>(argv));
+    EXPECT_EQ(ctx.threads(), 5u);
+    EXPECT_EQ(ctx.runner().threads(), 5u);
+    EXPECT_EQ(&ctx.runner().cache(), &ctx.traceCache());
+}
+
+TEST(BenchContextThreads, EnvDefaultWhenFlagAbsent)
+{
+    ASSERT_EQ(setenv("CSIM_THREADS", "2", 1), 0);
+    const char *argv[] = {"bench"};
+    BenchContext ctx("bench", 1, const_cast<char **>(argv));
+    EXPECT_EQ(ctx.threads(), 2u);
+    ASSERT_EQ(unsetenv("CSIM_THREADS"), 0);
+}
+
+} // anonymous namespace
+} // namespace csim

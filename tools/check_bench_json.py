@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Validate a bench binary's --json report against schema version 1.
+"""Validate a bench binary's --json report (schema versions 1 and 2).
 
 Usage: check_bench_json.py [--min-stats N] report.json [report2.json ...]
 
 Schema (see src/harness/json_report.hh and README "Observability"):
 
   {
-    "schemaVersion": 1,
+    "schemaVersion": 2,
     "benchmark": "<name>",
+    "threads": <int >= 1>,          # v2 only
+    "wallSeconds": <number >= 0>,   # v2 only
     "grids":   [{"title", "columns", "rows", "averages"}, ...],
     "scalars": {"<name>": <number>, ...},
     "runs":    [{"label": str, "stats": {name: num | distribution}}]
@@ -88,10 +90,19 @@ def check_report(path, min_stats):
         d = json.load(f)
 
     require(isinstance(d, dict), "top level is not an object")
-    require(d.get("schemaVersion") == 1,
-            f"schemaVersion {d.get('schemaVersion')!r} != 1")
+    version = d.get("schemaVersion")
+    require(version in (1, 2),
+            f"schemaVersion {version!r} not in (1, 2)")
     require(isinstance(d.get("benchmark"), str) and d["benchmark"],
             "benchmark must be a non-empty string")
+    if version >= 2:
+        threads = d.get("threads")
+        require(isinstance(threads, int) and not isinstance(threads, bool)
+                and threads >= 1,
+                f"threads {threads!r} must be an integer >= 1")
+        wall = d.get("wallSeconds")
+        check_number(wall, "wallSeconds")
+        require(wall >= 0, f"wallSeconds {wall!r} must be >= 0")
     require(isinstance(d.get("grids"), list), "grids is not a list")
     require(isinstance(d.get("scalars"), dict),
             "scalars is not an object")
