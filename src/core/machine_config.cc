@@ -45,4 +45,38 @@ MachineConfig::name() const
         std::to_string(cluster.issueWidth) + "w";
 }
 
+std::string
+MachineConfig::validationError() const
+{
+    if (numClusters < 1)
+        return "numClusters must be >= 1";
+    if (numClusters > maxClusters)
+        return "numClusters " + std::to_string(numClusters) +
+            " exceeds the supported maximum of " +
+            std::to_string(maxClusters) +
+            " (per-cluster delivery masks are 16 bits wide)";
+    if (cluster.issueWidth < 1)
+        return "cluster issueWidth must be >= 1";
+    if (cluster.intPorts < 1 || cluster.fpPorts < 1 ||
+        cluster.memPorts < 1)
+        return "every cluster needs >= 1 port of each class (a "
+               "portless class deadlocks in-order steering)";
+    if (windowPerCluster < 1)
+        return "windowPerCluster must be >= 1";
+    if (robEntries < 1)
+        return "robEntries must be >= 1";
+    if (fetchWidth < 1 || dispatchWidth < 1 || commitWidth < 1)
+        return "fetch/dispatch/commit widths must be >= 1";
+    return "";
+}
+
+void
+MachineConfig::validate() const
+{
+    const std::string err = validationError();
+    if (!err.empty())
+        CSIM_FATAL_F("invalid machine config %s: %s", name().c_str(),
+                     err.c_str());
+}
+
 } // namespace csim

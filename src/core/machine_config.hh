@@ -13,6 +13,14 @@
 
 namespace csim {
 
+/**
+ * Largest supported cluster count. The timing core tracks per-cluster
+ * delivery state in 16-bit masks (one bit per cluster), so geometries
+ * beyond 16 clusters must be rejected up front instead of silently
+ * overflowing the masks.
+ */
+inline constexpr unsigned maxClusters = 16;
+
 /** Issue resources of one cluster. */
 struct ClusterPorts
 {
@@ -68,6 +76,18 @@ struct MachineConfig
 
     /** "1x8w", "4x2w", ... */
     std::string name() const;
+
+    /**
+     * Structural validity: cluster count within the bit-mask capacity
+     * of the timing core (<= maxClusters), every stage width and port
+     * count nonzero (a cluster missing a port class deadlocks the
+     * in-order steer stage), and nonzero window/ROB capacity. Returns
+     * "" when valid, else a description of the first problem.
+     */
+    std::string validationError() const;
+
+    /** Fatal on an invalid configuration (user-facing entry points). */
+    void validate() const;
 
     /** Aggregate issue width across clusters. */
     unsigned

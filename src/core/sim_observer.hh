@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Passive observation hooks into the timing core's pipeline events.
+ *
+ * A SimObserver attached through SimOptions::checker is driven by
+ * TimingSim at every steer, issue, commit and cycle boundary, with a
+ * read-only CoreView of the machine state. The core knows nothing
+ * about concrete observers; the pipeline invariant checker in
+ * src/verify implements this interface, keeping the verification
+ * subsystem out of the core's dependency graph (mirroring how
+ * CommitListener decouples predictor training).
+ */
+
+#ifndef CSIM_CORE_SIM_OBSERVER_HH
+#define CSIM_CORE_SIM_OBSERVER_HH
+
+#include <cstddef>
+
+#include "core/policy.hh"
+
+namespace csim {
+
+class StatsRegistry;
+
+/**
+ * Pipeline event observer. All hooks default to no-ops so observers
+ * override only the events they care about. Hooks fire after the core
+ * has updated the instruction's timing record, so view.timingOf(id)
+ * reflects the event.
+ */
+class SimObserver
+{
+  public:
+    virtual ~SimObserver() = default;
+
+    /** The run is about to execute cycle 0. */
+    virtual void onRunStart(const CoreView &view) { (void)view; }
+
+    /** id was steered into its cluster window this cycle. */
+    virtual void onSteer(const CoreView &view, InstId id)
+    {
+        (void)view;
+        (void)id;
+    }
+
+    /** id issued this cycle (window entry freed, complete scheduled). */
+    virtual void onIssue(const CoreView &view, InstId id)
+    {
+        (void)view;
+        (void)id;
+    }
+
+    /** id retired this cycle (every timestamp final). */
+    virtual void onCommit(const CoreView &view, InstId id)
+    {
+        (void)view;
+        (void)id;
+    }
+
+    /** All stages have run for cycle view.now(). */
+    virtual void onCycleEnd(const CoreView &view) { (void)view; }
+
+    /** The run finished (after the last commit). */
+    virtual void onRunEnd(const CoreView &view) { (void)view; }
+
+    /** See SteeringPolicy::registerStats. */
+    virtual void registerStats(StatsRegistry &registry)
+    {
+        (void)registry;
+    }
+};
+
+} // namespace csim
+
+#endif // CSIM_CORE_SIM_OBSERVER_HH

@@ -3,9 +3,18 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/sim_observer.hh"
 #include "obs/pipe_trace.hh"
 
 namespace csim {
+
+// crossMask_ holds one bit per source slot.
+static_assert(numSrcSlots <= 8,
+              "InstTiming::crossMask is uint8_t: one bit per SrcSlot");
+// deliveredMask_ holds one bit per cluster; MachineConfig::validate
+// rejects numClusters > maxClusters.
+static_assert(maxClusters <= 16,
+              "deliveredMask_ is uint16_t: one bit per cluster");
 
 namespace {
 
@@ -35,7 +44,10 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
     : config_(config), trace_(trace), steering_(steering),
       scheduling_(scheduling), listener_(listener), options_(options)
 {
-    CSIM_ASSERT(config.numClusters >= 1);
+    config.validate();
+    // Larger traces would overflow the id bits of the priority keys
+    // and silently corrupt issue ordering.
+    CSIM_ASSERT(trace.size() <= maxTraceInstructions);
     for (unsigned c = 0; c < config.numClusters; ++c)
         clusters_.emplace_back(config.cluster, config.windowPerCluster);
 
@@ -61,6 +73,8 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
     scheduling_.registerStats(registry_);
     if (listener_)
         listener_->registerStats(registry_);
+    if (options_.checker)
+        options_.checker->registerStats(registry_);
 }
 
 void
@@ -89,7 +103,8 @@ TimingSim::registerCoreStats()
         "ready instructions denied issue by port limits (inst-cycles)");
     statPriorityInversions_ = &registry_.addCounter(
         "sched.priorityInversions",
-        "issues that bypassed a denied higher-priority instruction");
+        "issues that bypassed a denied instruction of a strictly "
+        "higher scheduling class");
     statFwdDyadic_ = &registry_.addCounter(
         "fwd.cause.dyadic",
         "bypass deliveries to consumers with split producers");
@@ -242,6 +257,8 @@ TimingSim::run()
     }
 
     steering_.reset(*this, n);
+    if (options_.checker)
+        options_.checker->onRunStart(*this);
 
     const std::uint64_t cycle_limit =
         static_cast<std::uint64_t>(options_.maxCpi) * n + 100000;
@@ -252,6 +269,8 @@ TimingSim::run()
         doCommit();
         doSteer();
         doFetch();
+        if (options_.checker)
+            options_.checker->onCycleEnd(*this);
         ++now_;
         if (now_ > cycle_limit) {
             const InstTiming &h = timing_[commitIdx_];
@@ -283,6 +302,8 @@ TimingSim::run()
 
     if (listener_)
         listener_->onRunEnd(*this);
+    if (options_.checker)
+        options_.checker->onRunEnd(*this);
 
     // The last instruction committed on cycle now_-1... runtime is the
     // commit cycle of the final instruction plus one (cycles are
@@ -344,10 +365,16 @@ TimingSim::doIssue()
                 ++*cs.fpIssued;
             else
                 ++*cs.memIssued;
-            // The select loop walks in priority order, so issuing past
-            // an already-denied instruction is a priority inversion
-            // (a port-class conflict let a lower-priority op through).
-            if (!leftover.empty())
+            // The select loop walks in priority order, so the denied
+            // instructions in `leftover` always precede this one in
+            // (class, age) order. It is only a priority *inversion*
+            // when a port-class conflict let an instruction of a
+            // strictly lower scheduling class through — same-class
+            // age bypasses are ordinary port contention. leftover[0]
+            // holds the highest-priority denial of this cluster-cycle.
+            if (!leftover.empty() &&
+                prioKeyClass(prioKey_[leftover.front()]) <
+                    prioKeyClass(prioKey_[id]))
                 ++*statPriorityInversions_;
 
             if (fetchStalled_ && id == fetchStallBranch_)
@@ -374,6 +401,9 @@ TimingSim::doIssue()
                 }
             }
             waiters_[id].clear();
+
+            if (options_.checker)
+                options_.checker->onIssue(*this, id);
         }
 
         *statPortStarvedEvents_ += leftover.size();
@@ -399,6 +429,8 @@ TimingSim::doCommit()
         if (t.complete == invalidCycle || t.complete >= now_)
             break;
         t.commit = now_;
+        if (options_.checker)
+            options_.checker->onCommit(*this, commitIdx_);
         if (options_.pipeTracer)
             options_.pipeTracer->onRetire(commitIdx_, trace_[commitIdx_],
                                           t);
@@ -462,8 +494,7 @@ TimingSim::doSteer()
             ++*clusterStats_[d.desired].windowFullDiverts;
 
         const std::uint32_t prio = scheduling_.priorityClass(rec);
-        prioKey_[id] =
-            (static_cast<std::uint64_t>(prio) << 40) | id;
+        prioKey_[id] = makePrioKey(prio, id);
 
         // Resolve operand readiness.
         Cycle ready = now_ + 1;  // earliest possible issue
@@ -499,6 +530,8 @@ TimingSim::doSteer()
             clusters_[d.cluster].markReady(id, ready);
         }
 
+        if (options_.checker)
+            options_.checker->onSteer(*this, id);
         steering_.notifySteered(*this, req, d);
         ++steerIdx_;
         ++steered;

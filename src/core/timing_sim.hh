@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "core/cluster.hh"
 #include "core/machine_config.hh"
 #include "core/policy.hh"
@@ -31,6 +32,40 @@
 namespace csim {
 
 class PipeTracer;
+class SimObserver;
+
+/**
+ * Issue-priority keys pack the scheduling class above the instruction
+ * id (the age tiebreak): class in the top 24 bits, id in the low 40.
+ * Any id at or above 2^40 would bleed into the class bits and silently
+ * corrupt priority ordering, so both halves are checked when a key is
+ * built and TimingSim rejects traces longer than 2^40 at construction.
+ */
+inline constexpr unsigned prioKeyIdBits = 40;
+
+/** Largest trace (and largest InstId + 1) a priority key can carry. */
+inline constexpr std::uint64_t maxTraceInstructions =
+    std::uint64_t{1} << prioKeyIdBits;
+
+/** Largest priority class value a key can carry. */
+inline constexpr std::uint32_t maxPriorityClass =
+    (std::uint32_t{1} << (64 - prioKeyIdBits)) - 1;
+
+inline std::uint64_t
+makePrioKey(std::uint32_t prio_class, InstId id)
+{
+    CSIM_ASSERT(id < maxTraceInstructions);
+    CSIM_ASSERT(prio_class <= maxPriorityClass);
+    return (static_cast<std::uint64_t>(prio_class) << prioKeyIdBits) |
+        id;
+}
+
+/** Scheduling class carried by a packed priority key. */
+inline std::uint32_t
+prioKeyClass(std::uint64_t key)
+{
+    return static_cast<std::uint32_t>(key >> prioKeyIdBits);
+}
 
 struct SimOptions
 {
@@ -49,6 +84,13 @@ struct SimOptions
      * window gates the output; the tracer must outlive run().
      */
     PipeTracer *pipeTracer = nullptr;
+    /**
+     * Optional pipeline observer (the invariant checker in
+     * src/verify), driven at steer, issue, commit and every cycle
+     * boundary. Like pipeTracer it must outlive run(); its stats are
+     * registered into the run's registry at construction.
+     */
+    SimObserver *checker = nullptr;
 };
 
 class TimingSim : public CoreView

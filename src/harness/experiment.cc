@@ -6,6 +6,8 @@
 #include "harness/trace_cache.hh"
 #include "policy/scheduling.hh"
 #include "policy/steering.hh"
+#include "verify/oracle.hh"
+#include "verify/pipeline_checker.hh"
 
 namespace csim {
 
@@ -113,10 +115,39 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
 
     if (stack.trainer)
         stack.trainer->restart();
+
+    // The checker is per-run local state: sweep cells run on worker
+    // threads, so it cannot live in the (shared) config.
+    std::unique_ptr<PipelineChecker> checker;
+    SimOptions sim_options = cfg.simOptions;
+    if (cfg.verify.checker) {
+        PipelineCheckerOptions copt;
+        copt.panicOnViolation = cfg.verify.panicOnViolation;
+        checker =
+            std::make_unique<PipelineChecker>(machine, trace, copt);
+        sim_options.checker = checker.get();
+    }
+
     TimingSim sim(machine, trace, *stack.steering, *stack.scheduling,
-                  stack.trainer.get(), cfg.simOptions);
+                  stack.trainer.get(), sim_options);
     PolicyRun out;
     out.sim = sim.run();
+
+    if (checker) {
+        // Second opinion over the final timing records; also what the
+        // live hooks cannot see (e.g. instructions never committed).
+        const VerifyReport audit =
+            auditTiming(trace, out.sim.timing, machine);
+        if (!audit.ok() && cfg.verify.panicOnViolation)
+            CSIM_PANIC_F("post-run audit (%s, %s): %s",
+                         machine.name().c_str(), policyName(kind),
+                         audit.firstDetail.c_str());
+        out.checkerViolations =
+            checker->violations() + audit.violations();
+        out.checkerDetail = checker->report().firstDetail.empty()
+            ? audit.firstDetail : checker->report().firstDetail;
+    }
+
     out.breakdown = analyzeFullRun(trace, out.sim, machine);
     return out;
 }
@@ -187,6 +218,56 @@ aggregateOverSeeds(const std::string &workload,
     return agg;
 }
 
+/**
+ * Differential CPI oracle over one finished cell (ISSUE: a timing run
+ * that beats an idealized model is miscounting cycles). Bound
+ * violations are always fatal here — this path exists for CI and the
+ * property tests; the fuzzer composes the src/verify helpers itself
+ * so it can collect a reproducer instead of dying.
+ */
+void
+checkCellOracle(const Trace &trace, const MachineConfig &machine,
+                PolicyKind kind, const ExperimentConfig &cfg,
+                std::uint64_t instructions, std::uint64_t cycles)
+{
+    const double cpi = instructions ?
+        static_cast<double>(cycles) /
+        static_cast<double>(instructions) : 0.0;
+
+    // The bounding runs must not recurse into verification.
+    ExperimentConfig bound_cfg = cfg;
+    bound_cfg.verify = VerifyConfig{};
+
+    OracleCheck floor = checkCpiFloor(cpi, machine);
+    if (!floor.ok)
+        CSIM_FATAL_F("%s (%s, %s)", floor.detail.c_str(),
+                     machine.name().c_str(), policyName(kind));
+
+    AggregateResult ideal = runIdealCell(trace, machine, bound_cfg);
+    OracleCheck vs_ideal =
+        checkCpiLowerBound(cpi, ideal.cpi(), cfg.verify.oracleRelTol,
+                           "ideal list scheduler");
+    if (!vs_ideal.ok)
+        CSIM_FATAL_F("%s (%s, %s)", vs_ideal.detail.c_str(),
+                     machine.name().c_str(), policyName(kind));
+
+    // Clustering can only cost cycles against the same policy on a
+    // machine owning the summed resources with free bypass.
+    if (machine.numClusters > 1) {
+        PolicyRun env = runPolicy(trace, monolithicEnvelope(machine),
+                                  kind, bound_cfg);
+        const double env_cpi = env.sim.instructions ?
+            static_cast<double>(env.sim.cycles) /
+            static_cast<double>(env.sim.instructions) : 0.0;
+        OracleCheck vs_env = checkCpiLowerBound(
+            cpi, env_cpi, cfg.verify.oracleRelTol,
+            "monolithic-envelope");
+        if (!vs_env.ok)
+            CSIM_FATAL_F("%s (%s, %s)", vs_env.detail.c_str(),
+                         machine.name().c_str(), policyName(kind));
+    }
+}
+
 } // anonymous namespace
 
 AggregateResult
@@ -194,6 +275,9 @@ runPolicyCell(const Trace &trace, const MachineConfig &machine,
               PolicyKind kind, const ExperimentConfig &cfg)
 {
     PolicyRun run = runPolicy(trace, machine, kind, cfg);
+    if (cfg.verify.oracle)
+        checkCellOracle(trace, machine, kind, cfg,
+                        run.sim.instructions, run.sim.cycles);
     return toAggregate(run.sim.instructions, run.sim.cycles,
                        run.breakdown, run.sim.globalValues,
                        run.sim.stats);

@@ -39,6 +39,29 @@ enum class PolicyKind
 
 const char *policyName(PolicyKind kind);
 
+/**
+ * Verification knobs (src/verify). Both default off: the checker adds
+ * per-event work to every simulated cycle and the oracle roughly
+ * triples a cell's cost (it reruns the cell on two bounding models),
+ * so production sweeps pay nothing. Bench binaries enable both with
+ * `--check`; the fuzzer drives them directly.
+ */
+struct VerifyConfig
+{
+    /** Attach a live PipelineChecker to every measured run. */
+    bool checker = false;
+    /** Differential CPI bounds after every policy cell. */
+    bool oracle = false;
+    /**
+     * Slack for the oracle bounds: the bounding models are different
+     * discrete schedules, so an equal-performance machine can land a
+     * hair under the bound without a bug.
+     */
+    double oracleRelTol = 0.02;
+    /** Die on the first violation (CI); false: count into verify.*. */
+    bool panicOnViolation = true;
+};
+
 struct ExperimentConfig
 {
     std::uint64_t instructions = 60000;
@@ -53,6 +76,7 @@ struct ExperimentConfig
     /** LoC predictor strata (paper: 16 levels in 4 bits). */
     unsigned locLevels = 16;
     SimOptions simOptions = {};
+    VerifyConfig verify = {};
 };
 
 /** Seed-aggregated outcome of a (workload, machine, policy) cell. */
@@ -111,6 +135,14 @@ struct PolicyRun
 {
     SimResult sim;
     CpBreakdown breakdown;
+    /**
+     * Live-checker + post-run-audit violations (cfg.verify.checker
+     * with panicOnViolation off; always 0 otherwise — with panic on,
+     * a violation aborts before the run returns).
+     */
+    std::uint64_t checkerViolations = 0;
+    /** First violation's description (the fuzzer's reproducer line). */
+    std::string checkerDetail;
 };
 
 /**

@@ -205,7 +205,7 @@ usage(const std::string &benchmark, const char *bad_arg)
 {
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--instructions N] "
-                 "[--seeds a,b,c] [--threads N]\n",
+                 "[--seeds a,b,c] [--threads N] [--check]\n",
                  benchmark.c_str());
     if (bad_arg)
         CSIM_FATAL_F("%s: unknown or incomplete argument '%s'",
@@ -266,6 +266,8 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
             threadsArg_ = static_cast<unsigned>(n);
         } else if (arg == "--seeds") {
             seeds_ = parseSeedList(benchmark_, next());
+        } else if (arg == "--check") {
+            check_ = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(benchmark_, nullptr);
         } else {
@@ -306,6 +308,10 @@ BenchContext::apply(ExperimentConfig &cfg) const
         cfg.instructions = instructions_;
     if (!seeds_.empty())
         cfg.seeds = seeds_;
+    if (check_) {
+        cfg.verify.checker = true;
+        cfg.verify.oracle = true;
+    }
 }
 
 void

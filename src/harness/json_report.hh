@@ -111,8 +111,16 @@ class BenchContext
     BenchContext(std::string benchmark, int argc, char **argv);
     ~BenchContext();
 
-    /** Apply --instructions / --seeds overrides to a config. */
+    /**
+     * Apply --instructions / --seeds overrides to a config. `--check`
+     * additionally arms cfg.verify: every measured run gets a live
+     * PipelineChecker + post-run audit and every policy cell is held
+     * to the differential CPI oracles (fatal on violation).
+     */
     void apply(ExperimentConfig &cfg) const;
+
+    /** True when --check was given. */
+    bool checkRequested() const { return check_; }
 
     bool jsonRequested() const { return !jsonPath_.empty(); }
     const std::string &jsonPath() const { return jsonPath_; }
@@ -147,6 +155,7 @@ class BenchContext
     std::uint64_t instructions_ = 0;      ///< 0: keep bench default
     std::vector<std::uint64_t> seeds_;    ///< empty: keep bench default
     unsigned threadsArg_ = 0;             ///< 0: resolve automatically
+    bool check_ = false;                  ///< --check: arm cfg.verify
     std::chrono::steady_clock::time_point start_;
     std::unique_ptr<TraceCache> cache_;
     std::unique_ptr<SweepRunner> runner_;

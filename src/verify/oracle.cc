@@ -1,0 +1,59 @@
+#include "verify/oracle.hh"
+
+#include <algorithm>
+
+namespace csim {
+
+MachineConfig
+monolithicEnvelope(const MachineConfig &clustered)
+{
+    MachineConfig env = clustered;
+    env.numClusters = 1;
+    env.cluster.issueWidth =
+        clustered.numClusters * clustered.cluster.issueWidth;
+    env.cluster.intPorts =
+        clustered.numClusters * clustered.cluster.intPorts;
+    env.cluster.fpPorts =
+        clustered.numClusters * clustered.cluster.fpPorts;
+    env.cluster.memPorts =
+        clustered.numClusters * clustered.cluster.memPorts;
+    env.windowPerCluster =
+        clustered.numClusters * clustered.windowPerCluster;
+    env.fwdLatency = 0;
+    return env;
+}
+
+OracleCheck
+checkCpiLowerBound(double cpi, double bound, double rel_tol,
+                   const std::string &bound_name)
+{
+    OracleCheck check;
+    if (cpi >= bound * (1.0 - rel_tol))
+        return check;
+    check.ok = false;
+    check.detail = "differential oracle: timing CPI " +
+        std::to_string(cpi) + " beats the " + bound_name +
+        " lower bound " + std::to_string(bound) +
+        " (relative tolerance " + std::to_string(rel_tol) + ")";
+    return check;
+}
+
+OracleCheck
+checkCpiFloor(double cpi, const MachineConfig &config)
+{
+    const unsigned narrowest =
+        std::min({config.fetchWidth, config.dispatchWidth,
+                  config.totalWidth(), config.commitWidth});
+    OracleCheck check;
+    if (narrowest == 0 || cpi >= 1.0 / narrowest)
+        return check;
+    check.ok = false;
+    check.detail = "differential oracle: timing CPI " +
+        std::to_string(cpi) +
+        " below the structural floor 1/" +
+        std::to_string(narrowest) +
+        " set by the narrowest pipeline stage";
+    return check;
+}
+
+} // namespace csim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Differential CPI oracles.
+ *
+ * The timing simulator's CPI is bounded below by two independent
+ * models the repo already builds: the idealized list scheduler
+ * (Sec. 2.2 — global view, exact future knowledge, same structural
+ * constraints) and the same policy stack on a monolithic machine with
+ * the clustered geometry's *summed* resources (one big window, no
+ * forwarding latency, at least as many ports of every class). A
+ * timing run that beats either bound is miscounting cycles, so the
+ * harness asserts these relations after every sweep cell when
+ * verification is on, and the fuzzer asserts them per random case.
+ *
+ * Bounds are checked with a small relative tolerance: the envelope
+ * machine is a different discrete schedule, and rounding in the
+ * measured-run cycle accounting can put the clustered machine a hair
+ * under an equal-performance bound without any bug.
+ */
+
+#ifndef CSIM_VERIFY_ORACLE_HH
+#define CSIM_VERIFY_ORACLE_HH
+
+#include <string>
+
+#include "core/machine_config.hh"
+
+namespace csim {
+
+/** Outcome of one differential bound check. */
+struct OracleCheck
+{
+    bool ok = true;
+    /** Human-readable description when the bound is violated. */
+    std::string detail;
+};
+
+/**
+ * The monolithic envelope of a clustered geometry: one cluster whose
+ * issue width, port counts and scheduling window are the *sums* over
+ * the clustered machine's clusters, with the same front end, ROB and
+ * commit stage and no inter-cluster forwarding. Summing (rather than
+ * taking MachineConfig::monolithic()) matters because clustered(n)
+ * rounds partial fp/mem ports up, so e.g. 8x1w owns more total fp
+ * ports than the paper's 1x8w baseline; the envelope must dominate
+ * the clustered machine resource-for-resource for the CPI bound to be
+ * sound.
+ */
+MachineConfig monolithicEnvelope(const MachineConfig &clustered);
+
+/**
+ * Assert `cpi >= bound * (1 - rel_tol)`. @p bound_name names the
+ * bounding model in the failure detail (e.g. "ideal list scheduler").
+ */
+OracleCheck checkCpiLowerBound(double cpi, double bound,
+                               double rel_tol,
+                               const std::string &bound_name);
+
+/**
+ * Structural sanity: CPI can never drop below the reciprocal of the
+ * narrowest pipeline stage (fetch, dispatch, total issue, commit).
+ */
+OracleCheck checkCpiFloor(double cpi, const MachineConfig &config);
+
+} // namespace csim
+
+#endif // CSIM_VERIFY_ORACLE_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Differential fuzzer for the clustered timing simulator.
+ *
+ * Each case derives, from one 64-bit seed, a random-but-valid machine
+ * geometry, a random well-formed synthetic trace and a policy stack,
+ * then runs the timing simulator under the full pipeline invariant
+ * checker (live hooks + post-run audit) and the differential CPI
+ * oracles:
+ *
+ *   - the structural floor (CPI >= 1 / narrowest stage width), and
+ *   - for clustered geometries, the monolithic envelope: the same
+ *     policy on one cluster owning the summed resources with free
+ *     bypass can never lose to the clustered machine.
+ *
+ * (The ideal list-scheduler bound is NOT applied here: its reference
+ * schedule assumes the paper's Table-1 front end, which random
+ * geometries deliberately violate. The harness `--check` path applies
+ * it on the paper machines, where it is sound.)
+ *
+ * On the first failing case the fuzzer prints the seed, the derived
+ * geometry and policy, the first violation, and the exact command
+ * that replays just that case, then exits nonzero. CI runs a bounded
+ * batch of seeds per push.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hh"
+#include "harness/experiment.hh"
+#include "verify/oracle.hh"
+#include "verify/random_trace.hh"
+
+namespace {
+
+using namespace csim;
+
+struct FuzzArgs
+{
+    std::uint64_t startSeed = 1;
+    std::uint64_t numSeeds = 64;
+    std::uint64_t instructions = 1000;
+    double relTol = 0.05;
+    bool verbose = false;
+};
+
+[[noreturn]] void
+usage(const char *bad)
+{
+    std::fprintf(stderr,
+                 "usage: fuzz_sim [--start S] [--seeds N] "
+                 "[--instructions N] [--tol F] [--verbose]\n");
+    std::exit(bad ? 2 : 0);
+}
+
+std::uint64_t
+parseU64(const char *flag, const char *v)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (*v == '\0' || *end != '\0') {
+        std::fprintf(stderr, "fuzz_sim: bad %s '%s'\n", flag, v);
+        std::exit(2);
+    }
+    return n;
+}
+
+FuzzArgs
+parseArgs(int argc, char **argv)
+{
+    FuzzArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[i]);
+            return argv[++i];
+        };
+        if (arg == "--start")
+            args.startSeed = parseU64("--start", next());
+        else if (arg == "--seeds")
+            args.numSeeds = parseU64("--seeds", next());
+        else if (arg == "--instructions")
+            args.instructions =
+                parseU64("--instructions", next());
+        else if (arg == "--tol")
+            args.relTol = std::atof(next());
+        else if (arg == "--verbose")
+            args.verbose = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(nullptr);
+        else
+            usage(arg.c_str());
+    }
+    return args;
+}
+
+const PolicyKind fuzzPolicies[] = {
+    PolicyKind::ModN,
+    PolicyKind::LoadBal,
+    PolicyKind::Dep,
+    PolicyKind::Focused,
+    PolicyKind::FocusedLoc,
+    PolicyKind::FocusedLocStall,
+    PolicyKind::FocusedLocStallProactive,
+};
+
+void
+describeCase(const MachineConfig &config, PolicyKind kind,
+             std::uint64_t instructions)
+{
+    std::fprintf(
+        stderr,
+        "  machine %s: clusters=%u width=%u int=%u fp=%u mem=%u "
+        "window=%u rob=%u fetch=%u dispatch=%u commit=%u depth=%u "
+        "fwd=%u stopAtTaken=%d\n  policy %s, trace %llu insts\n",
+        config.name().c_str(), config.numClusters,
+        config.cluster.issueWidth, config.cluster.intPorts,
+        config.cluster.fpPorts, config.cluster.memPorts,
+        config.windowPerCluster, config.robEntries,
+        config.fetchWidth, config.dispatchWidth, config.commitWidth,
+        config.frontendDepth, config.fwdLatency,
+        config.fetchStopAtTaken ? 1 : 0, policyName(kind),
+        static_cast<unsigned long long>(instructions));
+}
+
+/** Returns "" on a clean case, else the first failure description. */
+std::string
+runCase(std::uint64_t seed, const FuzzArgs &args)
+{
+    Rng rng(seed);
+    const MachineConfig config = randomMachineConfig(rng);
+    const Trace trace = randomTrace(rng, args.instructions);
+    const PolicyKind kind = fuzzPolicies[rng.below(7)];
+
+    ExperimentConfig cfg;
+    cfg.instructions = args.instructions;
+    cfg.seeds = {seed};
+    cfg.verify.checker = true;
+    cfg.verify.panicOnViolation = false;
+
+    if (args.verbose) {
+        std::fprintf(stderr, "seed %llu:\n",
+                     static_cast<unsigned long long>(seed));
+        describeCase(config, kind, trace.size());
+    }
+
+    const PolicyRun run = runPolicy(trace, config, kind, cfg);
+    if (run.checkerViolations) {
+        describeCase(config, kind, trace.size());
+        return run.checkerDetail;
+    }
+
+    const double cpi = run.sim.instructions ?
+        static_cast<double>(run.sim.cycles) /
+        static_cast<double>(run.sim.instructions) : 0.0;
+
+    OracleCheck floor = checkCpiFloor(cpi, config);
+    if (!floor.ok) {
+        describeCase(config, kind, trace.size());
+        return floor.detail;
+    }
+
+    if (config.numClusters > 1) {
+        cfg.verify = VerifyConfig{};
+        const PolicyRun env =
+            runPolicy(trace, monolithicEnvelope(config), kind, cfg);
+        const double env_cpi = env.sim.instructions ?
+            static_cast<double>(env.sim.cycles) /
+            static_cast<double>(env.sim.instructions) : 0.0;
+        OracleCheck vs_env = checkCpiLowerBound(
+            cpi, env_cpi, args.relTol, "monolithic-envelope");
+        if (!vs_env.ok) {
+            describeCase(config, kind, trace.size());
+            return vs_env.detail;
+        }
+    }
+    return "";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const FuzzArgs args = parseArgs(argc, argv);
+
+    for (std::uint64_t i = 0; i < args.numSeeds; ++i) {
+        const std::uint64_t seed = args.startSeed + i;
+        const std::string failure = runCase(seed, args);
+        if (!failure.empty()) {
+            std::fprintf(
+                stderr,
+                "fuzz_sim: FAIL seed=%llu\n  %s\n"
+                "reproduce: fuzz_sim --start %llu --seeds 1 "
+                "--instructions %llu --tol %g --verbose\n",
+                static_cast<unsigned long long>(seed),
+                failure.c_str(),
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(args.instructions),
+                args.relTol);
+            return 1;
+        }
+    }
+    std::fprintf(stderr,
+                 "fuzz_sim: %llu seeds clean (start %llu, %llu insts "
+                 "each)\n",
+                 static_cast<unsigned long long>(args.numSeeds),
+                 static_cast<unsigned long long>(args.startSeed),
+                 static_cast<unsigned long long>(args.instructions));
+    return 0;
+}
