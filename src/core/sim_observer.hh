@@ -2,25 +2,35 @@
  * @file
  * Passive observation hooks into the timing core's pipeline events.
  *
- * A SimObserver attached through SimOptions::checker is driven by
- * TimingSim at every steer, issue, commit and cycle boundary, with a
- * read-only CoreView of the machine state. The core knows nothing
- * about concrete observers; the pipeline invariant checker in
- * src/verify implements this interface, keeping the verification
- * subsystem out of the core's dependency graph (mirroring how
- * CommitListener decouples predictor training).
+ * A SimObserver attached through SimOptions::checker (or the
+ * SimOptions::observers chain) is driven by TimingSim at every steer,
+ * issue, commit and cycle boundary — plus the stall events each stage
+ * reports — with a read-only CoreView of the machine state. The core
+ * knows nothing about concrete observers; the pipeline invariant
+ * checker in src/verify and the interval profiler in src/obs implement
+ * this interface, keeping both subsystems out of the core's dependency
+ * graph (mirroring how CommitListener decouples predictor training).
  */
 
 #ifndef CSIM_CORE_SIM_OBSERVER_HH
 #define CSIM_CORE_SIM_OBSERVER_HH
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/policy.hh"
 
 namespace csim {
 
 class StatsRegistry;
+
+/** Why the in-order steer stage blocked for the rest of a cycle. */
+enum class SteerStallCause : std::uint8_t
+{
+    RobFull,      ///< shared ROB at capacity
+    WindowFull,   ///< every cluster scheduling window full
+    PolicyStall,  ///< the steering policy chose to stall (Fig. 14 's')
+};
 
 /**
  * Pipeline event observer. All hooks default to no-ops so observers
@@ -49,6 +59,29 @@ class SimObserver
         (void)view;
         (void)id;
     }
+
+    /**
+     * id was ready this cycle but denied issue by its cluster's
+     * width/port limits (one event per denied instruction per cycle;
+     * the same events sched.replayEvents counts).
+     */
+    virtual void onIssueDenied(const CoreView &view, InstId id)
+    {
+        (void)view;
+        (void)id;
+    }
+
+    /** The steer stage blocked this cycle for the given cause (fires
+     *  at most once per cycle). */
+    virtual void onSteerStall(const CoreView &view, SteerStallCause cause)
+    {
+        (void)view;
+        (void)cause;
+    }
+
+    /** Fetch spent this cycle stalled on an unresolved mispredicted
+     *  branch. */
+    virtual void onFetchStall(const CoreView &view) { (void)view; }
 
     /** id retired this cycle (every timestamp final). */
     virtual void onCommit(const CoreView &view, InstId id)

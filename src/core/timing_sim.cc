@@ -65,6 +65,12 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
         ilpIssuedSum_.resize(options_.ilpMaxAvailable + 1, 0);
     }
 
+    if (options_.checker)
+        observers_.push_back(options_.checker);
+    for (SimObserver *obs : options_.observers)
+        if (obs)
+            observers_.push_back(obs);
+
     registerCoreStats();
     for (unsigned c = 0; c < config.numClusters; ++c)
         clusters_[c].attachStats(registry_,
@@ -73,8 +79,8 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
     scheduling_.registerStats(registry_);
     if (listener_)
         listener_->registerStats(registry_);
-    if (options_.checker)
-        options_.checker->registerStats(registry_);
+    for (SimObserver *obs : observers_)
+        obs->registerStats(registry_);
 }
 
 void
@@ -257,8 +263,8 @@ TimingSim::run()
     }
 
     steering_.reset(*this, n);
-    if (options_.checker)
-        options_.checker->onRunStart(*this);
+    for (SimObserver *obs : observers_)
+        obs->onRunStart(*this);
 
     const std::uint64_t cycle_limit =
         static_cast<std::uint64_t>(options_.maxCpi) * n + 100000;
@@ -269,8 +275,8 @@ TimingSim::run()
         doCommit();
         doSteer();
         doFetch();
-        if (options_.checker)
-            options_.checker->onCycleEnd(*this);
+        for (SimObserver *obs : observers_)
+            obs->onCycleEnd(*this);
         ++now_;
         if (now_ > cycle_limit) {
             const InstTiming &h = timing_[commitIdx_];
@@ -302,8 +308,8 @@ TimingSim::run()
 
     if (listener_)
         listener_->onRunEnd(*this);
-    if (options_.checker)
-        options_.checker->onRunEnd(*this);
+    for (SimObserver *obs : observers_)
+        obs->onRunEnd(*this);
 
     // The last instruction committed on cycle now_-1... runtime is the
     // commit cycle of the final instruction plus one (cycles are
@@ -402,11 +408,16 @@ TimingSim::doIssue()
             }
             waiters_[id].clear();
 
-            if (options_.checker)
-                options_.checker->onIssue(*this, id);
+            for (SimObserver *obs : observers_)
+                obs->onIssue(*this, id);
         }
 
         *statPortStarvedEvents_ += leftover.size();
+        if (!observers_.empty()) {
+            for (InstId id : leftover)
+                for (SimObserver *obs : observers_)
+                    obs->onIssueDenied(*this, id);
+        }
         ready.swap(leftover);
     }
 
@@ -429,8 +440,8 @@ TimingSim::doCommit()
         if (t.complete == invalidCycle || t.complete >= now_)
             break;
         t.commit = now_;
-        if (options_.checker)
-            options_.checker->onCommit(*this, commitIdx_);
+        for (SimObserver *obs : observers_)
+            obs->onCommit(*this, commitIdx_);
         if (options_.pipeTracer)
             options_.pipeTracer->onRetire(commitIdx_, trace_[commitIdx_],
                                           t);
@@ -456,6 +467,8 @@ TimingSim::doSteer()
             break;  // still in the front-end pipeline
         if (steerIdx_ - commitIdx_ >= config_.robEntries) {
             ++*statRobFullCycles_;
+            for (SimObserver *obs : observers_)
+                obs->onSteerStall(*this, SteerStallCause::RobFull);
             break;  // ROB full
         }
 
@@ -464,6 +477,8 @@ TimingSim::doSteer()
             total_free += cluster.windowFree();
         if (total_free == 0) {
             ++*statAllWindowsFullCycles_;
+            for (SimObserver *obs : observers_)
+                obs->onSteerStall(*this, SteerStallCause::WindowFull);
             break;  // every window full: structural stall
         }
 
@@ -472,6 +487,8 @@ TimingSim::doSteer()
         SteerDecision d = steering_.steer(*this, req);
         if (d.stall) {
             ++*statSteerStallCycles_;
+            for (SimObserver *obs : observers_)
+                obs->onSteerStall(*this, SteerStallCause::PolicyStall);
             break;  // policy chose to stall; in-order steering blocks
         }
 
@@ -530,8 +547,8 @@ TimingSim::doSteer()
             clusters_[d.cluster].markReady(id, ready);
         }
 
-        if (options_.checker)
-            options_.checker->onSteer(*this, id);
+        for (SimObserver *obs : observers_)
+            obs->onSteer(*this, id);
         steering_.notifySteered(*this, req, d);
         ++steerIdx_;
         ++steered;
@@ -548,6 +565,8 @@ TimingSim::doFetch()
             fetchStallBranch_ = invalidInstId;
         } else {
             ++*statFetchStallCycles_;
+            for (SimObserver *obs : observers_)
+                obs->onFetchStall(*this);
             return;
         }
     }

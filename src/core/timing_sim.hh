@@ -91,6 +91,13 @@ struct SimOptions
      * registered into the run's registry at construction.
      */
     SimObserver *checker = nullptr;
+    /**
+     * Additional observers (e.g. the interval profiler in src/obs),
+     * driven after `checker` at every hook. Null entries are ignored;
+     * all observers must outlive run() and are registered into the
+     * run's registry at construction, exactly like `checker`.
+     */
+    std::vector<SimObserver *> observers;
 };
 
 class TimingSim : public CoreView
@@ -156,6 +163,9 @@ class TimingSim : public CoreView
     SchedulingPolicy &scheduling_;
     CommitListener *listener_;
     SimOptions options_;
+    /** The flattened observer chain: options_.checker (if any)
+     *  followed by the non-null options_.observers entries. */
+    std::vector<SimObserver *> observers_;
 
     Cycle now_ = 0;
     std::vector<Cluster> clusters_;

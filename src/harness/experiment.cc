@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.hh"
@@ -97,6 +98,57 @@ makeStack(const Trace &trace, PolicyKind kind,
     return s;
 }
 
+/**
+ * Score the steer-time criticality snapshots against the chunked
+ * depgraph ground truth and fold the tallies into the run's stats as
+ * profiler.crit.* (counters sum across seeds; the rate formulas
+ * seed-average, matching every other formula in the registry).
+ */
+void
+scoreCriticalityPredictions(const Trace &trace, SimResult &result,
+                            const MachineConfig &machine,
+                            std::uint64_t chunk_size)
+{
+    const std::vector<bool> truth =
+        criticalityGroundTruth(trace, result, machine, chunk_size);
+    std::uint64_t tp = 0, fp = 0, fn = 0, tn = 0;
+    const std::size_t n =
+        std::min(truth.size(), result.timing.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool pred = result.timing[i].predictedCritical;
+        if (pred && truth[i])
+            ++tp;
+        else if (pred)
+            ++fp;
+        else if (truth[i])
+            ++fn;
+        else
+            ++tn;
+    }
+
+    const auto counter = [](std::uint64_t v) {
+        StatValue sv;
+        sv.kind = StatKind::Counter;
+        sv.value = static_cast<double>(v);
+        return sv;
+    };
+    const auto formula = [](std::uint64_t num, std::uint64_t den) {
+        StatValue sv;
+        sv.kind = StatKind::Formula;
+        sv.value = den ? static_cast<double>(num) /
+            static_cast<double>(den) : 0.0;
+        return sv;
+    };
+    result.stats.add("profiler.crit.truePos", counter(tp));
+    result.stats.add("profiler.crit.falsePos", counter(fp));
+    result.stats.add("profiler.crit.falseNeg", counter(fn));
+    result.stats.add("profiler.crit.trueNeg", counter(tn));
+    result.stats.add("profiler.crit.hitRate",
+                     formula(tp + tn, tp + fp + fn + tn));
+    result.stats.add("profiler.crit.precision", formula(tp, tp + fp));
+    result.stats.add("profiler.crit.recall", formula(tp, tp + fn));
+}
+
 } // anonymous namespace
 
 PolicyRun
@@ -116,9 +168,11 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
     if (stack.trainer)
         stack.trainer->restart();
 
-    // The checker is per-run local state: sweep cells run on worker
-    // threads, so it cannot live in the (shared) config.
+    // The checker and profiler are per-run local state: sweep cells
+    // run on worker threads, so they cannot live in the (shared)
+    // config.
     std::unique_ptr<PipelineChecker> checker;
+    std::unique_ptr<IntervalProfiler> profiler;
     SimOptions sim_options = cfg.simOptions;
     if (cfg.verify.checker) {
         PipelineCheckerOptions copt;
@@ -127,11 +181,24 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
             std::make_unique<PipelineChecker>(machine, trace, copt);
         sim_options.checker = checker.get();
     }
+    if (cfg.profile.enabled) {
+        IntervalProfilerOptions popt;
+        popt.intervalCycles = cfg.profile.intervalCycles;
+        profiler =
+            std::make_unique<IntervalProfiler>(machine, trace, popt);
+        sim_options.observers.push_back(profiler.get());
+    }
 
     TimingSim sim(machine, trace, *stack.steering, *stack.scheduling,
                   stack.trainer.get(), sim_options);
     PolicyRun out;
     out.sim = sim.run();
+    if (profiler) {
+        out.intervals = profiler->takeSeries();
+        if (cfg.profile.scoreCriticality)
+            scoreCriticalityPredictions(trace, out.sim, machine,
+                                        cfg.trainChunk);
+    }
 
     if (checker) {
         // Second opinion over the final timing records; also what the
@@ -166,6 +233,7 @@ AggregateResult::merge(const AggregateResult &other)
     fwdEventsOther += other.fwdEventsOther;
     globalValues += other.globalValues;
     stats.merge(other.stats);
+    intervals.merge(other.intervals);
 }
 
 namespace {
@@ -278,9 +346,12 @@ runPolicyCell(const Trace &trace, const MachineConfig &machine,
     if (cfg.verify.oracle)
         checkCellOracle(trace, machine, kind, cfg,
                         run.sim.instructions, run.sim.cycles);
-    return toAggregate(run.sim.instructions, run.sim.cycles,
-                       run.breakdown, run.sim.globalValues,
-                       run.sim.stats);
+    AggregateResult agg =
+        toAggregate(run.sim.instructions, run.sim.cycles,
+                    run.breakdown, run.sim.globalValues,
+                    run.sim.stats);
+    agg.intervals = std::move(run.intervals);
+    return agg;
 }
 
 AggregateResult

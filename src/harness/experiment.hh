@@ -19,6 +19,7 @@
 #include "core/timing_sim.hh"
 #include "critpath/attribution.hh"
 #include "listsched/list_scheduler.hh"
+#include "obs/interval_profiler.hh"
 #include "workloads/registry.hh"
 
 namespace csim {
@@ -62,6 +63,25 @@ struct VerifyConfig
     bool panicOnViolation = true;
 };
 
+/**
+ * Interval-profiling knobs (src/obs). Off by default: the profiler
+ * adds per-event bookkeeping to every cycle and the ground-truth
+ * scoring pass re-walks the depgraph after the run. Bench binaries
+ * enable it with `--profile` / `--profile-interval`.
+ */
+struct ProfileConfig
+{
+    /** Attach an IntervalProfiler to every measured run. */
+    bool enabled = false;
+    /** Interval length in cycles. */
+    std::uint64_t intervalCycles = 10000;
+    /**
+     * Score the steer-time criticality predictions against the chunked
+     * depgraph ground truth after each measured run (profiler.crit.*).
+     */
+    bool scoreCriticality = true;
+};
+
 struct ExperimentConfig
 {
     std::uint64_t instructions = 60000;
@@ -77,6 +97,7 @@ struct ExperimentConfig
     unsigned locLevels = 16;
     SimOptions simOptions = {};
     VerifyConfig verify = {};
+    ProfileConfig profile = {};
 };
 
 /** Seed-aggregated outcome of a (workload, machine, policy) cell. */
@@ -95,6 +116,9 @@ struct AggregateResult
     /** Merged registry snapshots from all seeds' measured runs
      *  (counters summed, formulas seed-averaged). */
     StatsSnapshot stats;
+    /** Interval time series, merged index-wise across seeds (empty
+     *  unless cfg.profile.enabled). */
+    IntervalSeries intervals;
 
     double
     cpi() const
@@ -143,6 +167,8 @@ struct PolicyRun
     std::uint64_t checkerViolations = 0;
     /** First violation's description (the fuzzer's reproducer line). */
     std::string checkerDetail;
+    /** The measured run's interval series (cfg.profile.enabled). */
+    IntervalSeries intervals;
 };
 
 /**

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
+#include "obs/chrome_trace.hh"
 
 namespace csim {
 
@@ -205,7 +206,9 @@ usage(const std::string &benchmark, const char *bad_arg)
 {
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--instructions N] "
-                 "[--seeds a,b,c] [--threads N] [--check]\n",
+                 "[--seeds a,b,c] [--threads N] [--check]\n"
+                 "       [--profile] [--profile-interval N] "
+                 "[--trace-out <path>] [--stats-filter p1,p2]\n",
                  benchmark.c_str());
     if (bad_arg)
         CSIM_FATAL_F("%s: unknown or incomplete argument '%s'",
@@ -232,6 +235,23 @@ parseSeedList(const std::string &benchmark, const std::string &arg)
         pos = comma + 1;
     }
     return seeds;
+}
+
+std::vector<std::string>
+parsePrefixList(const std::string &arg)
+{
+    std::vector<std::string> prefixes;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+        std::size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        const std::string tok = arg.substr(pos, comma - pos);
+        if (!tok.empty())
+            prefixes.push_back(tok);
+        pos = comma + 1;
+    }
+    return prefixes;
 }
 
 } // anonymous namespace
@@ -268,11 +288,30 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
             seeds_ = parseSeedList(benchmark_, next());
         } else if (arg == "--check") {
             check_ = true;
+        } else if (arg == "--profile") {
+            profile_ = true;
+        } else if (arg == "--profile-interval") {
+            const std::string v = next();
+            char *end = nullptr;
+            profileInterval_ = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || profileInterval_ == 0)
+                CSIM_FATAL_F("%s: bad --profile-interval '%s'",
+                             benchmark_.c_str(), v.c_str());
+            profile_ = true;
+        } else if (arg == "--trace-out") {
+            traceOutPath_ = next();
+            profile_ = true;
+        } else if (arg == "--stats-filter") {
+            statsFilter_ = parsePrefixList(next());
         } else if (arg == "--help" || arg == "-h") {
             usage(benchmark_, nullptr);
         } else {
             usage(benchmark_, arg.c_str());
         }
+    }
+    if (statsFilter_.empty()) {
+        if (const char *env = std::getenv("CSIM_STATS_FILTER"))
+            statsFilter_ = parsePrefixList(env);
     }
 }
 
@@ -312,6 +351,11 @@ BenchContext::apply(ExperimentConfig &cfg) const
         cfg.verify.checker = true;
         cfg.verify.oracle = true;
     }
+    if (profile_) {
+        cfg.profile.enabled = true;
+        if (profileInterval_ != 0)
+            cfg.profile.intervalCycles = profileInterval_;
+    }
 }
 
 void
@@ -322,16 +366,18 @@ BenchContext::addGrid(const FigureGrid &grid)
 
 void
 BenchContext::addRunStats(const std::string &label,
-                          const StatsSnapshot &s)
+                          const StatsSnapshot &s,
+                          const IntervalSeries &intervals)
 {
-    runs_.emplace_back(label, s);
+    runs_.push_back(RunEntry{label, s, intervals});
 }
 
 void
 BenchContext::addSweepRuns(const SweepOutcome &outcome)
 {
     for (std::size_t i = 0; i < outcome.cells.size(); ++i)
-        addRunStats(outcome.cells[i].label(), outcome.results[i].stats);
+        addRunStats(outcome.cells[i].label(), outcome.results[i].stats,
+                    outcome.results[i].intervals);
 }
 
 void
@@ -340,9 +386,70 @@ BenchContext::addScalar(const std::string &name, double value)
     scalars_.emplace_back(name, value);
 }
 
+namespace {
+
+/** Serialize one interval series as the run's "intervals" object. */
+void
+writeIntervalSeries(JsonWriter &w, const IntervalSeries &series)
+{
+    w.beginObject();
+    w.key("intervalCycles").value(series.intervalCycles);
+    w.key("clusterIssueWidth")
+        .value(std::uint64_t{series.clusterIssueWidth});
+    w.key("windowPerCluster")
+        .value(std::uint64_t{series.windowPerCluster});
+    w.key("mergeCount").value(series.mergeCount);
+    w.key("series").beginArray();
+    for (const IntervalRecord &rec : series.records) {
+        w.beginObject();
+        w.key("start").value(rec.startCycle);
+        w.key("cycles").value(rec.cycles);
+        w.key("cpiStack").beginObject();
+        for (std::size_t i = 0; i < numCpiComponents; ++i) {
+            w.key(cpiComponentName(static_cast<CpiComponent>(i)))
+                .value(rec.components[i]);
+        }
+        w.endObject();
+        w.key("commits").value(rec.commits);
+        w.key("steers").value(rec.steers);
+        w.key("issued").value(rec.issued);
+        w.key("predictedCriticalSteers")
+            .value(rec.predictedCriticalSteers);
+        w.key("locLevelSum").value(rec.locLevelSum);
+        w.key("deniedIssue").value(rec.deniedIssue);
+        w.key("deniedCritical").value(rec.deniedCritical);
+        w.key("fetchStallCycles").value(rec.fetchStallCycles);
+        w.key("clusters").beginArray();
+        for (const IntervalClusterLane &lane : rec.clusters) {
+            w.beginObject();
+            w.key("steered").value(lane.steered);
+            w.key("issued").value(lane.issued);
+            w.key("occupancySum").value(lane.occupancySum);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // anonymous namespace
+
 int
 BenchContext::finish()
 {
+    if (!traceOutPath_.empty()) {
+        std::vector<ChromeTraceRun> trace_runs;
+        for (const RunEntry &run : runs_) {
+            if (!run.intervals.empty())
+                trace_runs.push_back(
+                    ChromeTraceRun{run.label, run.intervals});
+        }
+        writeChromeTraceFile(traceOutPath_, trace_runs);
+        std::fprintf(stderr, "wrote %s\n", traceOutPath_.c_str());
+    }
+
     if (jsonPath_.empty())
         return 0;
 
@@ -358,7 +465,7 @@ BenchContext::finish()
 
     JsonWriter w(out);
     w.beginObject();
-    w.key("schemaVersion").value(2);
+    w.key("schemaVersion").value(3);
     w.key("benchmark").value(benchmark_);
     w.key("threads").value(std::uint64_t{threads()});
     w.key("wallSeconds").value(wall);
@@ -374,22 +481,31 @@ BenchContext::finish()
     w.endObject();
 
     w.key("runs").beginArray();
-    for (const auto &[label, snap] : runs_) {
+    for (const RunEntry &run : runs_) {
         w.beginObject();
-        w.key("label").value(label);
+        w.key("label").value(run.label);
         w.key("stats");
-        writeSnapshot(w, snap);
+        writeSnapshot(w, run.stats.filtered(statsFilter_));
+        if (!run.intervals.empty()) {
+            w.key("intervals");
+            writeIntervalSeries(w, run.intervals);
+        }
         w.endObject();
     }
     // Cache activity counts are thread-count invariant (concurrent
     // requesters of an in-flight build count as hits), so this entry
-    // is part of the byte-identical region of the report.
+    // is part of the byte-identical region of the report. The stats
+    // filter applies here too; a fully filtered entry is omitted.
     if (cache_) {
-        w.beginObject();
-        w.key("label").value("traceCache");
-        w.key("stats");
-        writeSnapshot(w, cache_->statsSnapshot());
-        w.endObject();
+        const StatsSnapshot cache_stats =
+            cache_->statsSnapshot().filtered(statsFilter_);
+        if (!cache_stats.empty()) {
+            w.beginObject();
+            w.key("label").value("traceCache");
+            w.key("stats");
+            writeSnapshot(w, cache_stats);
+            w.endObject();
+        }
     }
     w.endArray();
 

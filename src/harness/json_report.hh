@@ -5,28 +5,36 @@
  * JsonWriter is a tiny streaming JSON emitter (no external deps);
  * BenchContext is the shared command-line front end of every bench
  * binary: it parses `--json <path>`, `--instructions N`,
- * `--seeds a,b,c` and `--threads N`, owns the sweep runner + trace
- * cache the bench executes on, collects FigureGrids, scalars and
- * per-run registry snapshots while the bench runs, and on finish()
- * writes one report file with a stable schema (see README
- * "Observability"):
+ * `--seeds a,b,c`, `--threads N`, `--check`, `--profile`,
+ * `--profile-interval N`, `--trace-out <path>` and
+ * `--stats-filter p1,p2`, owns the sweep runner + trace cache the
+ * bench executes on, collects FigureGrids, scalars and per-run
+ * registry snapshots (plus interval series when profiling) while the
+ * bench runs, and on finish() writes one report file with a stable
+ * schema (see README "Observability"):
  *
  *   {
- *     "schemaVersion": 2,
+ *     "schemaVersion": 3,
  *     "benchmark": "<name>",
  *     "threads": <worker thread count>,
  *     "wallSeconds": <bench wall-clock time>,
  *     "grids":   [{"title", "columns", "rows", "averages"}, ...],
  *     "scalars": {"<name>": <number>, ...},
  *     "runs":    [{"label": "<wl/machine/policy>",
- *                  "stats": {"<stat>": <number> | {distribution}}},
+ *                  "stats": {"<stat>": <number> | {distribution}},
+ *                  "intervals": {"intervalCycles": N,   // profiled
+ *                                "series": [...]}},     // runs only
  *                 ...,
  *                 {"label": "traceCache", "stats": {...}}]
  *   }
  *
- * Apart from "threads" and "wallSeconds" the report is byte-identical
- * across thread counts. tools/check_bench_json.py validates this
- * schema in CI.
+ * Each series entry carries "start", "cycles", a "cpiStack" object
+ * whose components sum exactly to "cycles", event counts and a
+ * per-cluster lane array; "mergeCount" is the number of seed runs
+ * summed into the series (per-run means divide by it). Apart from "threads" and "wallSeconds" the
+ * report is byte-identical across thread counts — including the
+ * interval series, whose seed merge happens in fixed declaration
+ * order. tools/check_bench_json.py validates this schema in CI.
  */
 
 #ifndef CSIM_HARNESS_JSON_REPORT_HH
@@ -41,6 +49,7 @@
 #include <vector>
 
 #include "harness/report.hh"
+#include "obs/interval_profiler.hh"
 #include "obs/stats_registry.hh"
 
 namespace csim {
@@ -116,14 +125,21 @@ class BenchContext
      * additionally arms cfg.verify: every measured run gets a live
      * PipelineChecker + post-run audit and every policy cell is held
      * to the differential CPI oracles (fatal on violation).
+     * `--profile` arms cfg.profile the same way.
      */
     void apply(ExperimentConfig &cfg) const;
 
     /** True when --check was given. */
     bool checkRequested() const { return check_; }
 
+    /** True when --profile / --profile-interval / --trace-out given. */
+    bool profileRequested() const { return profile_; }
+
     bool jsonRequested() const { return !jsonPath_.empty(); }
     const std::string &jsonPath() const { return jsonPath_; }
+
+    /** Chrome trace output path ("" when --trace-out absent). */
+    const std::string &traceOutPath() const { return traceOutPath_; }
 
     /** Worker threads (--threads, CSIM_THREADS, hw concurrency). */
     unsigned threads() const;
@@ -137,8 +153,10 @@ class BenchContext
     /** Record a finished grid (copied; call after the grid is full). */
     void addGrid(const FigureGrid &grid);
 
-    /** Record one aggregate cell's merged registry snapshot. */
-    void addRunStats(const std::string &label, const StatsSnapshot &s);
+    /** Record one aggregate cell's merged registry snapshot, plus its
+     *  interval series when the cell was profiled. */
+    void addRunStats(const std::string &label, const StatsSnapshot &s,
+                     const IntervalSeries &intervals = IntervalSeries{});
 
     /** Record every cell of a sweep outcome via addRunStats. */
     void addSweepRuns(const SweepOutcome &outcome);
@@ -150,17 +168,29 @@ class BenchContext
     int finish();
 
   private:
+    struct RunEntry
+    {
+        std::string label;
+        StatsSnapshot stats;
+        IntervalSeries intervals;
+    };
+
     std::string benchmark_;
     std::string jsonPath_;
+    std::string traceOutPath_;            ///< "": no Chrome trace
     std::uint64_t instructions_ = 0;      ///< 0: keep bench default
     std::vector<std::uint64_t> seeds_;    ///< empty: keep bench default
     unsigned threadsArg_ = 0;             ///< 0: resolve automatically
     bool check_ = false;                  ///< --check: arm cfg.verify
+    bool profile_ = false;                ///< --profile: arm cfg.profile
+    std::uint64_t profileInterval_ = 0;   ///< 0: keep config default
+    /** --stats-filter / CSIM_STATS_FILTER prefixes ("": no filter). */
+    std::vector<std::string> statsFilter_;
     std::chrono::steady_clock::time_point start_;
     std::unique_ptr<TraceCache> cache_;
     std::unique_ptr<SweepRunner> runner_;
     std::vector<FigureGrid> grids_;
-    std::vector<std::pair<std::string, StatsSnapshot>> runs_;
+    std::vector<RunEntry> runs_;
     std::vector<std::pair<std::string, double>> scalars_;
 };
 

@@ -11,6 +11,7 @@ PipeTracer::PipeTracer(std::ostream &out, PipeTraceOptions options)
     : out_(out), options_(options)
 {
     CSIM_ASSERT(options_.startInst <= options_.endInst);
+    CSIM_ASSERT(options_.startCycle <= options_.endCycle);
 }
 
 void
@@ -18,6 +19,9 @@ PipeTracer::onRetire(InstId id, const TraceRecord &rec,
                      const InstTiming &timing)
 {
     if (id < options_.startInst || id >= options_.endInst)
+        return;
+    if (timing.fetch < options_.startCycle ||
+        timing.fetch >= options_.endCycle)
         return;
 
     // A retired instruction must have a complete, ordered lifecycle;

@@ -19,7 +19,9 @@
  * criticality snapshot ("c2 crit=1 loc=13"), which is exactly the
  * microscope needed to debug steering-policy losses instruction by
  * instruction. A [startInst, endInst) window keeps full-program traces
- * cheap to sample.
+ * cheap to sample; an additional [startCycle, endCycle) window gates
+ * on the fetch timestamp, so a pipeline trace can be cut to the same
+ * cycle region as an interval-profiler record.
  */
 
 #ifndef CSIM_OBS_PIPE_TRACE_HH
@@ -40,6 +42,10 @@ struct PipeTraceOptions
     std::uint64_t startInst = 0;
     /** One past the last dynamic instruction traced. */
     std::uint64_t endInst = std::numeric_limits<std::uint64_t>::max();
+    /** First fetch cycle traced (both windows must admit a record). */
+    Cycle startCycle = 0;
+    /** One past the last fetch cycle traced. */
+    Cycle endCycle = std::numeric_limits<Cycle>::max();
 };
 
 /**

@@ -106,6 +106,23 @@ StatsSnapshot::merge(const StatsSnapshot &other)
     }
 }
 
+StatsSnapshot
+StatsSnapshot::filtered(const std::vector<std::string> &prefixes) const
+{
+    if (prefixes.empty())
+        return *this;
+    StatsSnapshot out;
+    for (const auto &[name, val] : entries_) {
+        for (const std::string &prefix : prefixes) {
+            if (name.compare(0, prefix.size(), prefix) == 0) {
+                out.add(name, val);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
 // ---------------------------------------------------------------------
 // StatsRegistry
 

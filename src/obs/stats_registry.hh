@@ -99,6 +99,15 @@ class StatsSnapshot
      */
     void merge(const StatsSnapshot &other);
 
+    /**
+     * Copy containing only the stats whose name starts with one of
+     * the given prefixes, in the original order. An empty prefix list
+     * keeps everything (filtering is opt-in). Used by the stat dumpers
+     * so profiler-heavy runs can be cut down to e.g. "profiler.".
+     */
+    StatsSnapshot filtered(
+        const std::vector<std::string> &prefixes) const;
+
     std::size_t size() const { return entries_.size(); }
     bool empty() const { return entries_.empty(); }
 

@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "emu/emulator.hh"
 #include "frontend/branch_annotator.hh"
@@ -359,6 +361,65 @@ TEST(PipeTrace, SamplingWindow)
     EXPECT_EQ(out.str().find(":0:20:"), std::string::npos);
 }
 
+TEST(PipeTrace, CycleWindowGolden)
+{
+    Program p;
+    for (int i = 0; i < 50; ++i)
+        p.addi(r(1), r(1), 1);
+    p.halt();
+    p.finalize();
+    Trace t = prepare(p);
+    SimResult res = runMono(t);
+
+    // Reference: the ungated trace, split into its 7-line records.
+    std::ostringstream full;
+    writePipeTrace(full, t, res.timing);
+    std::vector<std::string> lines;
+    {
+        std::istringstream in(full.str());
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size() % 7, 0u);
+
+    // Parse each record's fetch cycle (first numeric field of its
+    // fetch line) and pick a window that is a proper, non-empty
+    // subset of the observed fetch cycles.
+    std::vector<Cycle> fetches;
+    for (std::size_t i = 0; i < lines.size(); i += 7)
+        fetches.push_back(std::stoull(lines[i].substr(
+            std::string("O3PipeView:fetch:").size())));
+    PipeTraceOptions w;
+    w.startCycle = fetches[fetches.size() / 4];
+    w.endCycle = fetches[3 * fetches.size() / 4];
+    ASSERT_LT(w.startCycle, w.endCycle);
+
+    // Golden gated output: records whose fetch lies in the window.
+    std::string golden;
+    for (std::size_t i = 0; i < lines.size(); i += 7) {
+        if (fetches[i / 7] < w.startCycle ||
+            fetches[i / 7] >= w.endCycle)
+            continue;
+        for (std::size_t j = 0; j < 7; ++j)
+            golden += lines[i + j] + "\n";
+    }
+    EXPECT_FALSE(golden.empty());
+    EXPECT_LT(golden.size(), full.str().size());
+
+    std::ostringstream gated;
+    writePipeTrace(gated, t, res.timing, w);
+    EXPECT_EQ(gated.str(), golden);
+
+    // Both gates compose: the cycle window ANDs with the inst window.
+    PipeTraceOptions both = w;
+    both.startInst = 0;
+    both.endInst = 1;
+    std::ostringstream none;
+    writePipeTrace(none, t, res.timing, both);
+    EXPECT_TRUE(none.str().empty());  // inst 0 fetches at cycle 0
+}
+
 // ------------------------------------------------------------------ //
 // JSON report round-trip
 
@@ -414,7 +475,7 @@ TEST(JsonReport, BenchContextRoundTrip)
     const std::string json = ss.str();
 
     // Structural spot checks on the emitted document.
-    EXPECT_NE(json.find("\"schemaVersion\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\":3"), std::string::npos);
     EXPECT_NE(json.find("\"benchmark\":\"test_bench\""),
               std::string::npos);
     EXPECT_NE(json.find("\"threads\":"), std::string::npos);

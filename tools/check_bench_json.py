@@ -1,22 +1,29 @@
 #!/usr/bin/env python3
-"""Validate a bench binary's --json report (schema versions 1 and 2).
+"""Validate a bench binary's --json report (schema versions 1, 2, 3).
 
 Usage: check_bench_json.py [--min-stats N] report.json [report2.json ...]
 
 Schema (see src/harness/json_report.hh and README "Observability"):
 
   {
-    "schemaVersion": 2,
+    "schemaVersion": 3,
     "benchmark": "<name>",
-    "threads": <int >= 1>,          # v2 only
-    "wallSeconds": <number >= 0>,   # v2 only
+    "threads": <int >= 1>,          # v2+
+    "wallSeconds": <number >= 0>,   # v2+
     "grids":   [{"title", "columns", "rows", "averages"}, ...],
     "scalars": {"<name>": <number>, ...},
-    "runs":    [{"label": str, "stats": {name: num | distribution}}]
+    "runs":    [{"label": str, "stats": {name: num | distribution},
+                 "intervals": {...}}]            # v3, profiled runs
   }
 
 A distribution is {"lo": num, "hi": num, "total": num, "buckets": [ints]}.
-Exits non-zero on the first malformed report.
+A run's "intervals" object (v3 only) is
+{"intervalCycles": int, "clusterIssueWidth": int,
+ "windowPerCluster": int, "mergeCount": int,
+ "series": [record, ...]} where each record
+carries "start", "cycles", a "cpiStack" object whose component values
+must sum exactly to "cycles", event counters and a "clusters" lane
+array. Exits non-zero on the first malformed report.
 """
 
 import argparse
@@ -24,6 +31,17 @@ import json
 import sys
 
 DIST_KEYS = {"lo", "hi", "total", "buckets"}
+
+CPI_STACK_KEYS = {
+    "base", "window", "steerStall", "bypass", "contention",
+    "loadImbalance", "execute", "memory", "frontend",
+}
+
+RECORD_COUNTER_KEYS = (
+    "start", "cycles", "commits", "steers", "issued",
+    "predictedCriticalSteers", "locLevelSum", "deniedIssue",
+    "deniedCritical", "fetchStallCycles",
+)
 
 
 class SchemaError(Exception):
@@ -56,6 +74,54 @@ def check_stat(name, v):
                     f"stat '{name}': bucket[{i}] is not an integer")
     elif v is not None:  # null encodes NaN/inf formula results
         check_number(v, f"stat '{name}'")
+
+
+def check_uint(v, what):
+    require(isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+            f"{what}: expected a non-negative integer, got {v!r}")
+
+
+def check_intervals(where, iv):
+    require(isinstance(iv, dict), f"{where}: not an object")
+    check_uint(iv.get("intervalCycles"), f"{where}.intervalCycles")
+    require(iv["intervalCycles"] >= 1,
+            f"{where}.intervalCycles must be >= 1")
+    check_uint(iv.get("clusterIssueWidth"),
+               f"{where}.clusterIssueWidth")
+    check_uint(iv.get("windowPerCluster"),
+               f"{where}.windowPerCluster")
+    check_uint(iv.get("mergeCount"), f"{where}.mergeCount")
+    merged = iv["mergeCount"]
+    require(merged >= 1, f"{where}.mergeCount must be >= 1")
+    require(isinstance(iv.get("series"), list),
+            f"{where}.series is not a list")
+    for j, rec in enumerate(iv["series"]):
+        rwhere = f"{where}.series[{j}]"
+        require(isinstance(rec, dict), f"{rwhere}: not an object")
+        for k in RECORD_COUNTER_KEYS:
+            check_uint(rec.get(k), f"{rwhere}.{k}")
+        stack = rec.get("cpiStack")
+        require(isinstance(stack, dict), f"{rwhere}.cpiStack missing")
+        require(set(stack.keys()) == CPI_STACK_KEYS,
+                f"{rwhere}.cpiStack keys {sorted(stack.keys())} != "
+                f"{sorted(CPI_STACK_KEYS)}")
+        for k, v in stack.items():
+            check_uint(v, f"{rwhere}.cpiStack.{k}")
+        total = sum(stack.values())
+        require(total == rec["cycles"],
+                f"{rwhere}: cpiStack components sum to {total}, "
+                f"not the interval's {rec['cycles']} cycles")
+        require(rec["cycles"] <= merged * iv["intervalCycles"],
+                f"{rwhere}: {rec['cycles']} cycles exceeds "
+                f"mergeCount ({merged}) x intervalCycles "
+                f"({iv['intervalCycles']})")
+        require(isinstance(rec.get("clusters"), list),
+                f"{rwhere}.clusters is not a list")
+        for c, lane in enumerate(rec["clusters"]):
+            require(isinstance(lane, dict),
+                    f"{rwhere}.clusters[{c}]: not an object")
+            for k in ("steered", "issued", "occupancySum"):
+                check_uint(lane.get(k), f"{rwhere}.clusters[{c}].{k}")
 
 
 def check_grid(i, g):
@@ -91,8 +157,8 @@ def check_report(path, min_stats):
 
     require(isinstance(d, dict), "top level is not an object")
     version = d.get("schemaVersion")
-    require(version in (1, 2),
-            f"schemaVersion {version!r} not in (1, 2)")
+    require(version in (1, 2, 3),
+            f"schemaVersion {version!r} not in (1, 2, 3)")
     require(isinstance(d.get("benchmark"), str) and d["benchmark"],
             "benchmark must be a non-empty string")
     if version >= 2:
@@ -122,6 +188,10 @@ def check_report(path, min_stats):
                 f"{len(run['stats'])} stats, expected >= {min_stats}")
         for name, v in run["stats"].items():
             check_stat(name, v)
+        if "intervals" in run:
+            require(version >= 3,
+                    f"runs[{i}]: 'intervals' requires schemaVersion 3")
+            check_intervals(f"runs[{i}].intervals", run["intervals"])
 
     return len(d["grids"]), len(d["runs"]), len(d["scalars"])
 

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Render the interval CPI stacks in a schema-v3 bench report.
+
+Usage: cpi_stack.py [--csv] [--run SUBSTR] [--width N] report.json
+
+Default output is one ASCII block per profiled run: a summary line
+(total cycles, CPI when commits are recorded) followed by one bar per
+interval, each cycle-width-proportional and lettered by component:
+
+  gcc/4x2w/focused  (cycles=60210, intervals=7, cpi=1.004)
+    [     0] BBBBBBBBBBBBBBWWWWMMM..  base=62% window=17% memory=12%
+    ...
+
+Component letters: B=base W=window S=steerStall Y=bypass C=contention
+L=loadImbalance X=execute M=memory F=frontend.
+
+--csv instead emits one row per (run, interval) with the raw component
+cycle counts, suitable for plotting:
+
+  run,interval,start,cycles,commits,base,window,steerStall,bypass,...
+
+--run filters runs by substring match on the label.
+"""
+
+import argparse
+import json
+import sys
+
+# (json key, bar letter) in emission order.
+COMPONENTS = [
+    ("base", "B"),
+    ("window", "W"),
+    ("steerStall", "S"),
+    ("bypass", "Y"),
+    ("contention", "C"),
+    ("loadImbalance", "L"),
+    ("execute", "X"),
+    ("memory", "M"),
+    ("frontend", "F"),
+]
+
+
+def profiled_runs(report, run_filter):
+    for run in report.get("runs", []):
+        if "intervals" not in run:
+            continue
+        if run_filter and run_filter not in run.get("label", ""):
+            continue
+        yield run
+
+
+def render_bar(stack, cycles, width):
+    """Letter-proportional bar; largest-remainder rounding keeps the
+    bar exactly `width` chars when the stack sums to `cycles`."""
+    if cycles == 0:
+        return " " * width
+    shares = [(key, letter, stack.get(key, 0) * width / cycles)
+              for key, letter, in COMPONENTS]
+    cells = [(key, letter, int(share)) for key, letter, share in shares]
+    assigned = sum(n for _, _, n in cells)
+    remainders = sorted(
+        range(len(shares)),
+        key=lambda i: shares[i][2] - int(shares[i][2]),
+        reverse=True)
+    bonus = set(remainders[:width - assigned])
+    bar = "".join(letter * (n + (1 if i in bonus else 0))
+                  for i, (_, letter, n) in enumerate(cells))
+    return bar.ljust(width, ".")[:width]
+
+
+def top_shares(stack, cycles, n=3):
+    pairs = sorted(((v, k) for k, v in stack.items() if v), reverse=True)
+    return "  ".join(f"{k}={100 * v // cycles}%"
+                     for v, k in pairs[:n]) if cycles else ""
+
+
+def render_ascii(report, run_filter, width, out):
+    shown = 0
+    for run in profiled_runs(report, run_filter):
+        iv = run["intervals"]
+        series = iv["series"]
+        cycles = sum(rec["cycles"] for rec in series)
+        commits = sum(rec["commits"] for rec in series)
+        cpi = f", cpi={cycles / commits:.3f}" if commits else ""
+        print(f"{run['label']}  (cycles={cycles}, "
+              f"intervals={len(series)}{cpi})", file=out)
+        for rec in series:
+            bar = render_bar(rec["cpiStack"], rec["cycles"], width)
+            print(f"  [{rec['start']:>8}] {bar}  "
+                  f"{top_shares(rec['cpiStack'], rec['cycles'])}",
+                  file=out)
+        shown += 1
+    return shown
+
+
+def render_csv(report, run_filter, out):
+    header = ["run", "interval", "start", "cycles", "commits",
+              "steers"] + [key for key, _ in COMPONENTS]
+    print(",".join(header), file=out)
+    shown = 0
+    for run in profiled_runs(report, run_filter):
+        for j, rec in enumerate(run["intervals"]["series"]):
+            row = [run["label"], j, rec["start"], rec["cycles"],
+                   rec["commits"], rec["steers"]]
+            row += [rec["cpiStack"].get(key, 0)
+                    for key, _ in COMPONENTS]
+            print(",".join(str(v) for v in row), file=out)
+        shown += 1
+    return shown
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--csv", action="store_true",
+                    help="emit CSV rows instead of ASCII bars")
+    ap.add_argument("--run", default="",
+                    help="only render runs whose label contains this")
+    ap.add_argument("--width", type=int, default=60,
+                    help="ASCII bar width in characters")
+    ap.add_argument("report")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+    if report.get("schemaVersion", 0) < 3:
+        print(f"{args.report}: schemaVersion "
+              f"{report.get('schemaVersion')!r} has no intervals "
+              f"(need 3)", file=sys.stderr)
+        return 1
+
+    if args.csv:
+        shown = render_csv(report, args.run, sys.stdout)
+    else:
+        shown = render_ascii(report, args.run, args.width, sys.stdout)
+    if shown == 0:
+        print(f"{args.report}: no profiled runs matched "
+              f"(did the bench run with --profile?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
