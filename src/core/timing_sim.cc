@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/sim_observer.hh"
+#include "obs/host_prof.hh"
 #include "obs/pipe_trace.hh"
 
 namespace csim {
@@ -255,6 +256,11 @@ TimingSim::noteGlobalDelivery(InstId producer, InstId consumer,
 SimResult
 TimingSim::run()
 {
+    // One scope per run, never per cycle: the host-prof tree reports
+    // the whole sim loop as a phase, with host MIPS from the commit
+    // count credited below.
+    HOST_PROF_SCOPE("sim.run");
+
     const std::uint64_t n = trace_.size();
     SimResult result;
     if (n == 0) {
@@ -316,6 +322,7 @@ TimingSim::run()
     // zero-based).
     result.cycles = timing_[n - 1].commit + 1;
     result.instructions = n;
+    HOST_PROF_INSTRUCTIONS(n);
     statCycles_->set(result.cycles);
     statInstructions_->set(n);
     result.globalValues = statGlobalValues_->value();

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "harness/trace_cache.hh"
+#include "obs/host_prof.hh"
 #include "policy/scheduling.hh"
 #include "policy/steering.hh"
 #include "verify/oracle.hh"
@@ -158,11 +159,14 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
     PolicyStack stack = makeStack(trace, kind, cfg);
 
     // Warmup passes train the predictors across the whole trace.
-    for (unsigned w = 0; w < cfg.warmupRuns && stack.trainer; ++w) {
-        stack.trainer->restart();
-        TimingSim warm(machine, trace, *stack.steering,
-                       *stack.scheduling, stack.trainer.get());
-        (void)warm.run();
+    if (stack.trainer) {
+        HOST_PROF_SCOPE("harness.warmup");
+        for (unsigned w = 0; w < cfg.warmupRuns; ++w) {
+            stack.trainer->restart();
+            TimingSim warm(machine, trace, *stack.steering,
+                           *stack.scheduling, stack.trainer.get());
+            (void)warm.run();
+        }
     }
 
     if (stack.trainer)
@@ -215,7 +219,10 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
             ? audit.firstDetail : checker->report().firstDetail;
     }
 
-    out.breakdown = analyzeFullRun(trace, out.sim, machine);
+    {
+        HOST_PROF_SCOPE("critpath.analyze");
+        out.breakdown = analyzeFullRun(trace, out.sim, machine);
+    }
     return out;
 }
 
@@ -343,9 +350,11 @@ runPolicyCell(const Trace &trace, const MachineConfig &machine,
               PolicyKind kind, const ExperimentConfig &cfg)
 {
     PolicyRun run = runPolicy(trace, machine, kind, cfg);
-    if (cfg.verify.oracle)
+    if (cfg.verify.oracle) {
+        HOST_PROF_SCOPE("verify.oracle");
         checkCellOracle(trace, machine, kind, cfg,
                         run.sim.instructions, run.sim.cycles);
+    }
     AggregateResult agg =
         toAggregate(run.sim.instructions, run.sim.cycles,
                     run.breakdown, run.sim.globalValues,
@@ -388,8 +397,10 @@ runIdealCell(const Trace &trace, const MachineConfig &machine,
         opts.critPred = &crit;
     }
 
-    ListSchedResult sched =
-        listSchedule(trace, ref_run.timing, machine, opts);
+    ListSchedResult sched = [&] {
+        HOST_PROF_SCOPE("listsched.schedule");
+        return listSchedule(trace, ref_run.timing, machine, opts);
+    }();
     CpBreakdown empty;
     // The list scheduler has no registry of its own; keep the
     // reference run's snapshot so ideal cells still carry stats.

@@ -9,7 +9,9 @@
 #include "common/logging.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
+#include "harness/trace_cache.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/host_prof.hh"
 
 namespace csim {
 
@@ -277,13 +279,7 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
                 CSIM_FATAL_F("%s: bad --instructions '%s'",
                              benchmark_.c_str(), v.c_str());
         } else if (arg == "--threads") {
-            const std::string v = next();
-            char *end = nullptr;
-            const unsigned long n = std::strtoul(v.c_str(), &end, 10);
-            if (v.empty() || *end != '\0' || n == 0)
-                CSIM_FATAL_F("%s: bad --threads '%s'",
-                             benchmark_.c_str(), v.c_str());
-            threadsArg_ = static_cast<unsigned>(n);
+            threadsArg_ = parseThreadCount(next(), "--threads");
         } else if (arg == "--seeds") {
             seeds_ = parseSeedList(benchmark_, next());
         } else if (arg == "--check") {
@@ -369,7 +365,7 @@ BenchContext::addRunStats(const std::string &label,
                           const StatsSnapshot &s,
                           const IntervalSeries &intervals)
 {
-    runs_.push_back(RunEntry{label, s, intervals});
+    runs_.push_back(RunEntry{label, s, intervals, RunHostMetrics{}});
 }
 
 void
@@ -378,6 +374,20 @@ BenchContext::addSweepRuns(const SweepOutcome &outcome)
     for (std::size_t i = 0; i < outcome.cells.size(); ++i)
         addRunStats(outcome.cells[i].label(), outcome.results[i].stats,
                     outcome.results[i].intervals);
+}
+
+void
+BenchContext::addRunHost(const std::string &label,
+                         const RunHostMetrics &host)
+{
+    for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+        if (it->label == label) {
+            it->host = host;
+            return;
+        }
+    }
+    CSIM_FATAL_F("%s: addRunHost: no recorded run labelled '%s'",
+                 benchmark_.c_str(), label.c_str());
 }
 
 void
@@ -434,6 +444,45 @@ writeIntervalSeries(JsonWriter &w, const IntervalSeries &series)
     w.endObject();
 }
 
+/** Millions of instructions per wall second (0 when unknown). */
+double
+mipsOf(std::uint64_t instructions, double wall_seconds)
+{
+    return instructions && wall_seconds > 0.0
+        ? static_cast<double>(instructions) / wall_seconds / 1e6
+        : 0.0;
+}
+
+/** Serialize one merged timer-tree node, recursively. */
+void
+writeTimerNode(JsonWriter &w, const HostProfNode &node)
+{
+    w.beginObject();
+    w.key("name").value(node.name);
+    w.key("calls").value(node.calls);
+    w.key("ns").value(node.ns);
+    w.key("instructions").value(node.instructions);
+    w.key("mips").value(node.mips());
+    w.key("children").beginArray();
+    for (const HostProfNode &child : node.children)
+        writeTimerNode(w, child);
+    w.endArray();
+    w.endObject();
+}
+
+/** Serialize one run's host-cost block (see RunHostMetrics). */
+void
+writeRunHost(JsonWriter &w, const RunHostMetrics &host)
+{
+    w.beginObject();
+    w.key("wallSeconds").value(host.wallSeconds);
+    w.key("instructions").value(host.instructions);
+    w.key("hostMips").value(mipsOf(host.instructions,
+                                   host.wallSeconds));
+    w.key("peakRssBytes").value(host.peakRssBytes);
+    w.endObject();
+}
+
 } // anonymous namespace
 
 int
@@ -465,7 +514,7 @@ BenchContext::finish()
 
     JsonWriter w(out);
     w.beginObject();
-    w.key("schemaVersion").value(3);
+    w.key("schemaVersion").value(4);
     w.key("benchmark").value(benchmark_);
     w.key("threads").value(std::uint64_t{threads()});
     w.key("wallSeconds").value(wall);
@@ -490,6 +539,10 @@ BenchContext::finish()
             w.key("intervals");
             writeIntervalSeries(w, run.intervals);
         }
+        if (run.host.wallSeconds > 0.0) {
+            w.key("host");
+            writeRunHost(w, run.host);
+        }
         w.endObject();
     }
     // Cache activity counts are thread-count invariant (concurrent
@@ -508,6 +561,29 @@ BenchContext::finish()
         }
     }
     w.endArray();
+
+    // Process-wide host observability: nondeterministic wall times and
+    // memory, so everything under "host" sits outside the report's
+    // byte-identical region (validators and determinism checks strip
+    // it). Absent when host profiling is compiled out or disabled.
+    if (HostProf::compiledIn() && HostProf::enabled()) {
+        const HostProfNode tree = HostProf::snapshot();
+        const HostMemoryStats mem = sampleHostMemory();
+        w.key("host").beginObject();
+        w.key("wallSeconds").value(wall);
+        w.key("hostMips").value(mipsOf(tree.totalInstructions(), wall));
+        w.key("peakRssBytes").value(mem.peakRssBytes);
+        w.key("currentRssBytes").value(mem.currentRssBytes);
+        w.key("heapBytes").value(mem.heapBytes);
+        w.key("heapHighWaterBytes").value(mem.heapHighWaterBytes);
+        w.key("timerTree");
+        writeTimerNode(w, tree);
+        if (cache_) {
+            w.key("traceCache");
+            writeSnapshot(w, cache_->timeSnapshot());
+        }
+        w.endObject();
+    }
 
     w.endObject();
     out << '\n';

@@ -14,7 +14,7 @@
  * schema (see README "Observability"):
  *
  *   {
- *     "schemaVersion": 3,
+ *     "schemaVersion": 4,
  *     "benchmark": "<name>",
  *     "threads": <worker thread count>,
  *     "wallSeconds": <bench wall-clock time>,
@@ -23,18 +23,30 @@
  *     "runs":    [{"label": "<wl/machine/policy>",
  *                  "stats": {"<stat>": <number> | {distribution}},
  *                  "intervals": {"intervalCycles": N,   // profiled
- *                                "series": [...]}},     // runs only
+ *                                "series": [...]},      // runs only
+ *                  "host": {"wallSeconds", "instructions",
+ *                           "hostMips", "peakRssBytes"}},  // optional
  *                 ...,
- *                 {"label": "traceCache", "stats": {...}}]
+ *                 {"label": "traceCache", "stats": {...}}],
+ *     "host":    {"wallSeconds", "hostMips",   // process-wide
+ *                 "peakRssBytes", "currentRssBytes",
+ *                 "heapBytes", "heapHighWaterBytes",
+ *                 "timerTree": {"name", "calls", "ns",
+ *                               "instructions", "mips",
+ *                               "children": [...]},
+ *                 "traceCache": {"traceCache.time.*": <number>}}
  *   }
  *
  * Each series entry carries "start", "cycles", a "cpiStack" object
  * whose components sum exactly to "cycles", event counts and a
  * per-cluster lane array; "mergeCount" is the number of seed runs
- * summed into the series (per-run means divide by it). Apart from "threads" and "wallSeconds" the
- * report is byte-identical across thread counts — including the
- * interval series, whose seed merge happens in fixed declaration
- * order. tools/check_bench_json.py validates this schema in CI.
+ * summed into the series (per-run means divide by it). Apart from
+ * "threads", "wallSeconds" and the "host" blocks (wall times and
+ * memory vary run to run) the report is byte-identical across thread
+ * counts — including the interval series, whose seed merge happens in
+ * fixed declaration order. The "host" block is absent when host
+ * profiling is compiled out or disabled at runtime.
+ * tools/check_bench_json.py validates this schema in CI.
  */
 
 #ifndef CSIM_HARNESS_JSON_REPORT_HH
@@ -101,6 +113,17 @@ void writeStatValue(JsonWriter &w, const StatValue &v);
 /** Serialize a whole snapshot as an object keyed by stat name. */
 void writeSnapshot(JsonWriter &w, const StatsSnapshot &snap);
 
+/** Host-side cost of one measured run (see addRunHost). */
+struct RunHostMetrics
+{
+    /** Wall seconds the run's sweep took. */
+    double wallSeconds = 0.0;
+    /** Simulated instructions retired during those seconds. */
+    std::uint64_t instructions = 0;
+    /** Peak resident set sampled after the run (0: not sampled). */
+    std::uint64_t peakRssBytes = 0;
+};
+
 /**
  * Shared bench command line + JSON report accumulator.
  *
@@ -161,6 +184,15 @@ class BenchContext
     /** Record every cell of a sweep outcome via addRunStats. */
     void addSweepRuns(const SweepOutcome &outcome);
 
+    /**
+     * Attach host-side cost metrics to the already-recorded run with
+     * this label (fatal when the label is unknown). Serialized as the
+     * run's "host" object with a derived "hostMips"; excluded from the
+     * report's deterministic region.
+     */
+    void addRunHost(const std::string &label,
+                    const RunHostMetrics &host);
+
     /** Record a loose named number (model params, derived metrics). */
     void addScalar(const std::string &name, double value);
 
@@ -173,6 +205,8 @@ class BenchContext
         std::string label;
         StatsSnapshot stats;
         IntervalSeries intervals;
+        /** Host cost metrics; present when wallSeconds > 0. */
+        RunHostMetrics host;
     };
 
     std::string benchmark_;

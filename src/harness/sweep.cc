@@ -8,8 +8,27 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/host_prof.hh"
 
 namespace csim {
+
+unsigned
+parseThreadCount(const std::string &value, const char *source)
+{
+    constexpr unsigned long maxThreads = 65536;
+    bool digits_only = !value.empty();
+    for (char c : value)
+        digits_only = digits_only && c >= '0' && c <= '9';
+    if (!digits_only)
+        CSIM_FATAL_F("%s: thread count '%s' is not a positive integer",
+                     source, value.c_str());
+    char *end = nullptr;
+    const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+    if (*end != '\0' || n == 0 || n > maxThreads)
+        CSIM_FATAL_F("%s: thread count '%s' out of range [1, %lu]",
+                     source, value.c_str(), maxThreads);
+    return static_cast<unsigned>(n);
+}
 
 namespace {
 
@@ -99,13 +118,8 @@ SweepRunner::SweepRunner(unsigned threads, TraceCache *cache)
 unsigned
 SweepRunner::defaultThreads()
 {
-    if (const char *env = std::getenv("CSIM_THREADS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n > 0)
-            return static_cast<unsigned>(n);
-        CSIM_LOG(Warn, "ignoring invalid CSIM_THREADS value '%s'",
-                 env);
-    }
+    if (const char *env = std::getenv("CSIM_THREADS"))
+        return parseThreadCount(env, "CSIM_THREADS");
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }
@@ -125,11 +139,15 @@ SweepRunner::parallelFor(std::size_t n,
     // Atomic-counter work stealing: whichever worker is free claims
     // the next index. Claim order is nondeterministic; determinism is
     // the caller's job (each index writes only its own result slot).
+    // Workers adopt the spawning thread's host-prof scope path so the
+    // merged timer tree has the same shape as the inline execution.
+    const std::vector<std::string> prof_path = HostProf::currentPath();
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
         pool.emplace_back([&] {
+            HostProfPathAdopter prof_adopt(prof_path);
             for (;;) {
                 const std::size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
@@ -146,6 +164,7 @@ SweepRunner::parallelFor(std::size_t n,
 SweepOutcome
 SweepRunner::run(const SweepSpec &spec)
 {
+    HOST_PROF_SCOPE("sweep.run");
     const auto start = std::chrono::steady_clock::now();
 
     // Expand cells into independent (cell, seed) jobs, cell-major with
@@ -162,23 +181,27 @@ SweepRunner::run(const SweepSpec &spec)
             jobs.push_back(Job{c, seed});
 
     std::vector<AggregateResult> jobResults(jobs.size());
-    parallelFor(jobs.size(), [&](std::size_t i) {
-        const Job &job = jobs[i];
-        const SweepCell &cell = spec.cells[job.cell];
-        const ExperimentConfig &cfg = spec.cellConfig(job.cell);
+    {
+        HOST_PROF_SCOPE("sweep.jobs");
+        parallelFor(jobs.size(), [&](std::size_t i) {
+            const Job &job = jobs[i];
+            const SweepCell &cell = spec.cells[job.cell];
+            const ExperimentConfig &cfg = spec.cellConfig(job.cell);
 
-        WorkloadConfig wcfg;
-        wcfg.targetInstructions = cfg.instructions;
-        wcfg.seed = job.seed;
-        std::shared_ptr<const Trace> trace =
-            cache().get(cell.workload, wcfg);
+            WorkloadConfig wcfg;
+            wcfg.targetInstructions = cfg.instructions;
+            wcfg.seed = job.seed;
+            std::shared_ptr<const Trace> trace =
+                cache().get(cell.workload, wcfg);
 
-        jobResults[i] =
-            cell.mode == CellMode::Timing
-                ? runPolicyCell(*trace, cell.machine, cell.policy, cfg)
-                : runIdealCell(*trace, cell.machine, cfg,
-                               cell.priority);
-    });
+            jobResults[i] =
+                cell.mode == CellMode::Timing
+                    ? runPolicyCell(*trace, cell.machine, cell.policy,
+                                    cfg)
+                    : runIdealCell(*trace, cell.machine, cfg,
+                                   cell.priority);
+        });
+    }
 
     // Merge per-seed results in job (= cell-major, seed) order: this
     // replays the exact merge sequence of the sequential path, so the
@@ -187,8 +210,11 @@ SweepRunner::run(const SweepSpec &spec)
     out.cells = spec.cells;
     out.results.resize(spec.cells.size());
     out.threads = threads_;
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-        out.results[jobs[i].cell].merge(jobResults[i]);
+    {
+        HOST_PROF_SCOPE("sweep.merge");
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            out.results[jobs[i].cell].merge(jobResults[i]);
+    }
 
     out.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -13,7 +13,9 @@
  * to the 1-thread (and the old hand-rolled sequential) path.
  *
  * Thread count: explicit argument > CSIM_THREADS environment variable
- * > std::thread::hardware_concurrency().
+ * > std::thread::hardware_concurrency(). A malformed CSIM_THREADS
+ * value (zero, negative, garbage) is a fatal error, never a silent
+ * fallback.
  */
 
 #ifndef CSIM_HARNESS_SWEEP_HH
@@ -29,6 +31,14 @@
 #include "harness/trace_cache.hh"
 
 namespace csim {
+
+/**
+ * Parse a worker-thread count from a flag or environment variable:
+ * decimal digits only, in [1, 65536]. Anything else — empty, signed,
+ * zero, trailing garbage, absurdly large — is fatal, quoting `source`
+ * (e.g. "--threads", "CSIM_THREADS") and the offending value.
+ */
+unsigned parseThreadCount(const std::string &value, const char *source);
 
 /** Whether a cell runs the timing simulator or the idealized
  *  list scheduler (Sec. 2.2). */

@@ -1,14 +1,25 @@
 #include "harness/trace_cache.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/host_prof.hh"
 
 namespace csim {
 
 namespace {
+
+std::uint64_t
+wallNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 std::string
 cacheKey(const std::string &workload, const WorkloadConfig &cfg,
@@ -68,6 +79,25 @@ TraceCache::TraceCache(std::size_t capacity_bytes)
                 static_cast<double>(statHits_->value()) / reqs : 0.0;
         },
         "fraction of lookups served without a build");
+
+    statBuildNs_ = &timeRegistry_.addCounter(
+        "traceCache.time.buildNs",
+        "wall nanoseconds spent building annotated traces");
+    statLockWaitNs_ = &timeRegistry_.addCounter(
+        "traceCache.time.lockWaitNs",
+        "wall nanoseconds spent acquiring the cache lock");
+    statHitWaitNs_ = &timeRegistry_.addCounter(
+        "traceCache.time.hitWaitNs",
+        "wall nanoseconds blocked on another thread's in-flight build");
+    timeRegistry_.addFormula(
+        "traceCache.time.buildMsMean", [this] {
+            const double builds =
+                static_cast<double>(statBuilds_->value());
+            return builds > 0.0 ?
+                static_cast<double>(statBuildNs_->value()) / builds /
+                    1e6 : 0.0;
+        },
+        "mean milliseconds per trace build");
 }
 
 std::shared_ptr<const Trace>
@@ -78,16 +108,26 @@ TraceCache::get(const std::string &workload, const WorkloadConfig &cfg,
 
     std::promise<std::shared_ptr<const Trace>> promise;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const std::uint64_t lock_start = wallNs();
+        std::unique_lock<std::mutex> lock(mutex_);
+        *statLockWaitNs_ += wallNs() - lock_start;
         ++*statRequests_;
         auto it = slots_.find(key);
         if (it != slots_.end()) {
             ++*statHits_;
             it->second.lastUse = ++tick_;
-            // May still be in flight on another thread: waiting on the
-            // shared future (outside the lock) covers both cases.
             auto future = it->second.future;
-            return future.get();
+            if (it->second.ready)
+                return future.get();
+            // Still in flight on another thread: wait on the shared
+            // future outside the lock and charge the blocked time.
+            const std::uint64_t wait_start = wallNs();
+            lock.unlock();
+            std::shared_ptr<const Trace> trace = future.get();
+            const std::uint64_t wait_ns = wallNs() - wait_start;
+            lock.lock();
+            *statHitWaitNs_ += wait_ns;
+            return trace;
         }
         ++*statBuilds_;
         Slot slot;
@@ -97,12 +137,20 @@ TraceCache::get(const std::string &workload, const WorkloadConfig &cfg,
     }
 
     // Build outside the lock so unrelated builds proceed in parallel.
-    std::shared_ptr<const Trace> trace =
-        buildSharedAnnotatedTrace(workload, cfg, mem, gshare_bits);
+    const std::uint64_t build_start = wallNs();
+    std::shared_ptr<const Trace> trace = [&] {
+        HOST_PROF_SCOPE("traceCache.build");
+        return buildSharedAnnotatedTrace(workload, cfg, mem,
+                                         gshare_bits);
+    }();
+    const std::uint64_t build_ns = wallNs() - build_start;
     promise.set_value(trace);
 
     {
+        const std::uint64_t lock_start = wallNs();
         std::lock_guard<std::mutex> lock(mutex_);
+        *statLockWaitNs_ += wallNs() - lock_start;
+        *statBuildNs_ += build_ns;
         auto it = slots_.find(key);
         CSIM_ASSERT(it != slots_.end()); // in-flight: never evicted
         it->second.ready = true;
@@ -195,6 +243,13 @@ TraceCache::statsSnapshot() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return registry_.snapshot();
+}
+
+StatsSnapshot
+TraceCache::timeSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return timeRegistry_.snapshot();
 }
 
 } // namespace csim

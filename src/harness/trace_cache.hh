@@ -16,6 +16,12 @@
  * shared_ptr. Cache activity (builds, hits, evictions, bytes held) is
  * reported through a StatsRegistry so bench JSON reports can show how
  * much redundant work the cache removed.
+ *
+ * Host-side latency (wall time spent building entries, waiting for the
+ * cache lock, or blocking on another thread's in-flight build) lives in
+ * a separate time registry ("traceCache.time.*", timeSnapshot()). Wall
+ * times vary run to run, so they are surfaced only under the report's
+ * "host" block, never mixed into the deterministic simulation stats.
  */
 
 #ifndef CSIM_HARNESS_TRACE_CACHE_HH
@@ -66,6 +72,10 @@ class TraceCache
     /** Frozen view of the cache's stats registry ("traceCache.*"). */
     StatsSnapshot statsSnapshot() const;
 
+    /** Frozen view of the host-latency registry ("traceCache.time.*").
+     *  Nondeterministic wall times; report under "host" only. */
+    StatsSnapshot timeSnapshot() const;
+
   private:
     struct Slot
     {
@@ -95,6 +105,11 @@ class TraceCache
     Counter *statEvictions_ = nullptr;
     Counter *statBytesBuilt_ = nullptr;
     Counter *statBytesEvicted_ = nullptr;
+
+    StatsRegistry timeRegistry_;
+    Counter *statBuildNs_ = nullptr;
+    Counter *statLockWaitNs_ = nullptr;
+    Counter *statHitWaitNs_ = nullptr;
 };
 
 } // namespace csim

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/host_prof.hh"
 
 namespace csim {
 
@@ -62,10 +63,24 @@ Trace
 buildAnnotatedTrace(const std::string &name, const WorkloadConfig &cfg,
                     const MemoryModelConfig &mem, unsigned gshare_bits)
 {
-    Trace trace = buildWorkloadTrace(name, cfg);
-    trace.linkProducers();
-    annotateBranches(trace, gshare_bits);
-    annotateMemory(trace, mem);
+    HOST_PROF_SCOPE("trace.build");
+    Trace trace = [&] {
+        HOST_PROF_SCOPE("trace.emulate");
+        return buildWorkloadTrace(name, cfg);
+    }();
+    {
+        HOST_PROF_SCOPE("trace.linkProducers");
+        trace.linkProducers();
+    }
+    {
+        HOST_PROF_SCOPE("trace.annotateBranches");
+        annotateBranches(trace, gshare_bits);
+    }
+    {
+        HOST_PROF_SCOPE("trace.annotateMemory");
+        annotateMemory(trace, mem);
+    }
+    HOST_PROF_INSTRUCTIONS(trace.size());
     return trace;
 }
 

@@ -145,6 +145,21 @@ TEST(TraceCache, StatsSnapshotCarriesRegistry)
     EXPECT_EQ(snap.value("traceCache.evictions"), 0.0);
 }
 
+TEST(TraceCache, TimeSnapshotTracksBuildLatency)
+{
+    TraceCache cache;
+    (void)cache.get("gzip", smallWorkload(1));
+    (void)cache.get("gzip", smallWorkload(1));
+    const StatsSnapshot t = cache.timeSnapshot();
+    EXPECT_GT(t.value("traceCache.time.buildNs"), 0.0);
+    EXPECT_TRUE(t.has("traceCache.time.lockWaitNs"));
+    EXPECT_TRUE(t.has("traceCache.time.hitWaitNs"));
+    EXPECT_GT(t.value("traceCache.time.buildMsMean"), 0.0);
+    // Wall times are nondeterministic, so they must stay out of the
+    // cache's deterministic stats snapshot.
+    EXPECT_FALSE(cache.statsSnapshot().has("traceCache.time.buildNs"));
+}
+
 // ---------------------------------------------------------------- //
 // SweepSpec
 
@@ -337,10 +352,42 @@ TEST(SweepRunner, DefaultThreadsReadsEnv)
 {
     ASSERT_EQ(setenv("CSIM_THREADS", "3", 1), 0);
     EXPECT_EQ(SweepRunner::defaultThreads(), 3u);
-    ASSERT_EQ(setenv("CSIM_THREADS", "junk", 1), 0);
-    EXPECT_GE(SweepRunner::defaultThreads(), 1u);
     ASSERT_EQ(unsetenv("CSIM_THREADS"), 0);
     EXPECT_GE(SweepRunner::defaultThreads(), 1u);
+}
+
+TEST(SweepRunnerDeathTest, MalformedEnvThreadCountIsFatal)
+{
+    // A malformed CSIM_THREADS must never silently fall back to a
+    // default thread count.
+    ASSERT_EQ(setenv("CSIM_THREADS", "junk", 1), 0);
+    EXPECT_DEATH(SweepRunner::defaultThreads(), "CSIM_THREADS");
+    ASSERT_EQ(setenv("CSIM_THREADS", "0", 1), 0);
+    EXPECT_DEATH(SweepRunner::defaultThreads(), "CSIM_THREADS");
+    ASSERT_EQ(setenv("CSIM_THREADS", "-2", 1), 0);
+    EXPECT_DEATH(SweepRunner::defaultThreads(), "CSIM_THREADS");
+    ASSERT_EQ(unsetenv("CSIM_THREADS"), 0);
+}
+
+TEST(ParseThreadCount, AcceptsPositiveDecimals)
+{
+    EXPECT_EQ(parseThreadCount("1", "--threads"), 1u);
+    EXPECT_EQ(parseThreadCount("48", "--threads"), 48u);
+    EXPECT_EQ(parseThreadCount("65536", "--threads"), 65536u);
+}
+
+TEST(ParseThreadCountDeathTest, RejectsGarbage)
+{
+    EXPECT_DEATH(parseThreadCount("", "--threads"), "--threads");
+    EXPECT_DEATH(parseThreadCount("0", "--threads"), "--threads");
+    EXPECT_DEATH(parseThreadCount("-1", "--threads"), "--threads");
+    EXPECT_DEATH(parseThreadCount("+4", "--threads"), "--threads");
+    EXPECT_DEATH(parseThreadCount("4x", "--threads"), "--threads");
+    EXPECT_DEATH(parseThreadCount("0x10", "--threads"), "--threads");
+    EXPECT_DEATH(parseThreadCount(" 4", "--threads"), "--threads");
+    EXPECT_DEATH(parseThreadCount("65537", "--threads"), "65537");
+    EXPECT_DEATH(parseThreadCount("99999999999999999999", "src"),
+                 "src");
 }
 
 // ---------------------------------------------------------------- //

@@ -1,29 +1,43 @@
 #!/usr/bin/env python3
-"""Validate a bench binary's --json report (schema versions 1, 2, 3).
+"""Validate a bench binary's --json report (schema versions 1-4).
 
-Usage: check_bench_json.py [--min-stats N] report.json [report2.json ...]
+Usage: check_bench_json.py [--min-stats N] [--require-host]
+                           report.json [report2.json ...]
 
 Schema (see src/harness/json_report.hh and README "Observability"):
 
   {
-    "schemaVersion": 3,
+    "schemaVersion": 4,
     "benchmark": "<name>",
     "threads": <int >= 1>,          # v2+
     "wallSeconds": <number >= 0>,   # v2+
     "grids":   [{"title", "columns", "rows", "averages"}, ...],
     "scalars": {"<name>": <number>, ...},
     "runs":    [{"label": str, "stats": {name: num | distribution},
-                 "intervals": {...}}]            # v3, profiled runs
+                 "intervals": {...},             # v3+, profiled runs
+                 "host": {...}}],                # v4, measured runs
+    "host":    {...}                             # v4, optional
   }
 
 A distribution is {"lo": num, "hi": num, "total": num, "buckets": [ints]}.
-A run's "intervals" object (v3 only) is
+A run's "intervals" object (v3+) is
 {"intervalCycles": int, "clusterIssueWidth": int,
  "windowPerCluster": int, "mergeCount": int,
  "series": [record, ...]} where each record
 carries "start", "cycles", a "cpiStack" object whose component values
 must sum exactly to "cycles", event counters and a "clusters" lane
-array. Exits non-zero on the first malformed report.
+array.
+
+The v4 host blocks carry the simulator's own cost. A run's "host" is
+{"wallSeconds" > 0, "instructions": uint, "hostMips" > 0 when
+instructions were counted, "peakRssBytes": uint}. The top-level
+"host" adds memory samples and a "timerTree" of
+{"name", "calls", "ns", "instructions", "mips", "children"} nodes in
+which every node's children's ns must sum to at most the node's own
+ns and children are sorted by name. --require-host makes the
+top-level host block (and at least one per-run host block) mandatory,
+the hard check applied to committed BENCH_*.json baselines. Exits
+non-zero on the first malformed report.
 """
 
 import argparse
@@ -124,6 +138,64 @@ def check_intervals(where, iv):
                 check_uint(lane.get(k), f"{rwhere}.clusters[{c}].{k}")
 
 
+def check_run_host(where, h):
+    require(isinstance(h, dict), f"{where}: not an object")
+    require(set(h.keys()) == {"wallSeconds", "instructions",
+                              "hostMips", "peakRssBytes"},
+            f"{where}: keys {sorted(h.keys())} are not the run-host "
+            f"schema")
+    check_number(h["wallSeconds"], f"{where}.wallSeconds")
+    require(h["wallSeconds"] > 0, f"{where}.wallSeconds must be > 0")
+    check_uint(h["instructions"], f"{where}.instructions")
+    check_number(h["hostMips"], f"{where}.hostMips")
+    if h["instructions"] > 0:
+        require(h["hostMips"] > 0, f"{where}.hostMips must be > 0 "
+                f"when instructions were counted")
+    check_uint(h["peakRssBytes"], f"{where}.peakRssBytes")
+
+
+def check_timer_node(where, node):
+    require(isinstance(node, dict), f"{where}: not an object")
+    require(isinstance(node.get("name"), str) and node["name"],
+            f"{where}.name must be a non-empty string")
+    for k in ("calls", "ns", "instructions"):
+        check_uint(node.get(k), f"{where}.{k}")
+    check_number(node.get("mips"), f"{where}.mips")
+    require(node["mips"] >= 0, f"{where}.mips must be >= 0")
+    require(isinstance(node.get("children"), list),
+            f"{where}.children is not a list")
+    child_ns = 0
+    names = []
+    for i, child in enumerate(node["children"]):
+        cwhere = f"{where}.children[{i}]"
+        check_timer_node(cwhere, child)
+        child_ns += child["ns"]
+        names.append(child["name"])
+    require(child_ns <= node["ns"],
+            f"{where}: children's ns sum to {child_ns}, exceeding "
+            f"the node's {node['ns']}")
+    require(names == sorted(names),
+            f"{where}: children are not sorted by name")
+
+
+def check_host(where, h):
+    require(isinstance(h, dict), f"{where}: not an object")
+    check_number(h.get("wallSeconds"), f"{where}.wallSeconds")
+    require(h["wallSeconds"] > 0, f"{where}.wallSeconds must be > 0")
+    check_number(h.get("hostMips"), f"{where}.hostMips")
+    require(h["hostMips"] > 0, f"{where}.hostMips must be > 0")
+    for k in ("peakRssBytes", "currentRssBytes", "heapBytes",
+              "heapHighWaterBytes"):
+        check_uint(h.get(k), f"{where}.{k}")
+    require("timerTree" in h, f"{where}.timerTree missing")
+    check_timer_node(f"{where}.timerTree", h["timerTree"])
+    if "traceCache" in h:
+        require(isinstance(h["traceCache"], dict),
+                f"{where}.traceCache is not an object")
+        for name, v in h["traceCache"].items():
+            check_stat(name, v)
+
+
 def check_grid(i, g):
     where = f"grids[{i}]"
     require(isinstance(g, dict), f"{where}: not an object")
@@ -151,14 +223,14 @@ def check_grid(i, g):
         check_number(v, f"{where}.averages['{col}']")
 
 
-def check_report(path, min_stats):
+def check_report(path, min_stats, require_host=False):
     with open(path) as f:
         d = json.load(f)
 
     require(isinstance(d, dict), "top level is not an object")
     version = d.get("schemaVersion")
-    require(version in (1, 2, 3),
-            f"schemaVersion {version!r} not in (1, 2, 3)")
+    require(version in (1, 2, 3, 4),
+            f"schemaVersion {version!r} not in (1, 2, 3, 4)")
     require(isinstance(d.get("benchmark"), str) and d["benchmark"],
             "benchmark must be a non-empty string")
     if version >= 2:
@@ -192,6 +264,18 @@ def check_report(path, min_stats):
             require(version >= 3,
                     f"runs[{i}]: 'intervals' requires schemaVersion 3")
             check_intervals(f"runs[{i}].intervals", run["intervals"])
+        if "host" in run:
+            require(version >= 4,
+                    f"runs[{i}]: 'host' requires schemaVersion 4")
+            check_run_host(f"runs[{i}].host", run["host"])
+
+    if "host" in d:
+        require(version >= 4, "'host' requires schemaVersion 4")
+        check_host("host", d["host"])
+    if require_host:
+        require("host" in d, "--require-host: no top-level host block")
+        require(any("host" in run for run in d["runs"]),
+                "--require-host: no run carries a host block")
 
     return len(d["grids"]), len(d["runs"]), len(d["scalars"])
 
@@ -200,13 +284,16 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--min-stats", type=int, default=10,
                     help="minimum stats required per run entry")
+    ap.add_argument("--require-host", action="store_true",
+                    help="fail unless host blocks are present (v4)")
     ap.add_argument("reports", nargs="+")
     args = ap.parse_args()
 
     status = 0
     for path in args.reports:
         try:
-            grids, runs, scalars = check_report(path, args.min_stats)
+            grids, runs, scalars = check_report(path, args.min_stats,
+                                                args.require_host)
         except (SchemaError, json.JSONDecodeError, OSError,
                 KeyError, TypeError) as e:
             print(f"{path}: FAIL: {e}", file=sys.stderr)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json throughput baselines for perf regressions.
+
+Usage: perf_diff.py [--max-regress PCT] [--max-rss-regress PCT]
+                    baseline.json current.json
+
+Matches the per-run "host" blocks (schema v4, written by
+bench_throughput) of the two reports by run label and compares
+host-MIPS and peak RSS. A run whose host-MIPS dropped by more than
+--max-regress percent (default 10) relative to the baseline is a
+regression and makes the exit status non-zero; peak-RSS growth beyond
+--max-rss-regress percent (default 25) likewise. Runs present in only
+one report are reported but never fatal, so grid changes don't block
+unrelated work.
+
+CI runs this as a *soft* gate (report-only artifact): host-MIPS on
+shared runners is noisy, so a human reads the table before believing
+it. Local use against the committed repo-root baseline:
+
+  ./build/bench/bench_throughput --json /tmp/bench_now.json
+  python3 tools/perf_diff.py BENCH_throughput.json /tmp/bench_now.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def host_runs(path):
+    """Map of run label -> host block for every measured run."""
+    with open(path) as f:
+        d = json.load(f)
+    if d.get("schemaVersion", 0) < 4:
+        raise SystemExit(
+            f"{path}: schemaVersion {d.get('schemaVersion')!r} has no "
+            f"host blocks (need v4); regenerate with bench_throughput")
+    runs = {}
+    for run in d.get("runs", []):
+        if "host" in run:
+            runs[run["label"]] = run["host"]
+    if not runs:
+        raise SystemExit(f"{path}: no run carries a host block")
+    return runs
+
+
+def pct_change(base, cur):
+    return 100.0 * (cur - base) / base if base else 0.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--max-regress", type=float, default=10.0,
+                    help="max tolerated host-MIPS drop, percent")
+    ap.add_argument("--max-rss-regress", type=float, default=25.0,
+                    help="max tolerated peak-RSS growth, percent")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    args = ap.parse_args()
+
+    base = host_runs(args.baseline)
+    cur = host_runs(args.current)
+
+    width = max(len(label) for label in base | cur)
+    print(f"{'run':<{width}}  {'base MIPS':>10} {'cur MIPS':>10} "
+          f"{'dMIPS%':>8}  {'base RSS':>9} {'cur RSS':>9} {'dRSS%':>8}")
+
+    failures = []
+    for label in sorted(base.keys() | cur.keys()):
+        if label not in base or label not in cur:
+            where = "baseline" if label in base else "current"
+            print(f"{label:<{width}}  (only in {where})")
+            continue
+        b, c = base[label], cur[label]
+        d_mips = pct_change(b["hostMips"], c["hostMips"])
+        d_rss = pct_change(b["peakRssBytes"], c["peakRssBytes"])
+        mib = 1024.0 * 1024.0
+        print(f"{label:<{width}}  {b['hostMips']:>10.2f} "
+              f"{c['hostMips']:>10.2f} {d_mips:>+8.1f}  "
+              f"{b['peakRssBytes'] / mib:>8.1f}M "
+              f"{c['peakRssBytes'] / mib:>8.1f}M {d_rss:>+8.1f}")
+        if d_mips < -args.max_regress:
+            failures.append(
+                f"{label}: host-MIPS fell {-d_mips:.1f}% "
+                f"(limit {args.max_regress:.1f}%)")
+        if d_rss > args.max_rss_regress:
+            failures.append(
+                f"{label}: peak RSS grew {d_rss:.1f}% "
+                f"(limit {args.max_rss_regress:.1f}%)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nno perf regressions beyond thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
