@@ -104,6 +104,32 @@ class Histogram
         total_ += weight;
     }
 
+    /**
+     * Bucket a sample would land in — exactly the clamping math of
+     * add(). Callers with a small set of recurring sample values can
+     * precompute indices once and feed addToBucket() on the hot path.
+     */
+    std::size_t
+    bucketIndex(double x) const
+    {
+        double t = (x - lo_) / (hi_ - lo_);
+        auto idx = static_cast<long>(t * static_cast<double>(size()));
+        if (idx < 0)
+            idx = 0;
+        if (idx >= static_cast<long>(size()))
+            idx = static_cast<long>(size()) - 1;
+        return static_cast<std::size_t>(idx);
+    }
+
+    /** Add `weight` samples straight into a precomputed bucket. */
+    void
+    addToBucket(std::size_t idx, std::uint64_t weight = 1)
+    {
+        CSIM_ASSERT(idx < counts_.size());
+        counts_[idx] += weight;
+        total_ += weight;
+    }
+
     std::size_t size() const { return counts_.size(); }
     std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
     std::uint64_t total() const { return total_; }

@@ -7,9 +7,11 @@
 #ifndef CSIM_CORE_CLUSTER_HH
 #define CSIM_CORE_CLUSTER_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -24,13 +26,22 @@ namespace csim {
  * One cluster: a scheduling window plus issue ports. Instructions enter
  * at steer time (occupying a window entry), move from `pending` to
  * `readyNow` when their operands arrive, and leave the window at issue.
+ *
+ * The pending queue is a flat binary min-heap over (ready cycle, id)
+ * kept with std::push_heap/pop_heap — the same comparator and pop
+ * order a std::priority_queue would give, but with the storage
+ * reservable and the minimum inspectable (nextPendingCycle() is what
+ * lets the timing core's skip-ahead bound an idle span).
  */
 class Cluster
 {
   public:
     Cluster(const ClusterPorts &ports, unsigned window_entries)
         : ports_(ports), windowEntries_(window_entries)
-    {}
+    {
+        pending_.reserve(window_entries);
+        readyNow_.reserve(window_entries);
+    }
 
     /**
      * Register this cluster's own stats (window entries, per-cycle
@@ -47,16 +58,24 @@ class Cluster
             prefix + ".window.occupancy", 16, 0.0,
             static_cast<double>(windowEntries_ + 1),
             "per-cycle scheduling-window occupancy");
+        // Occupancy is a small integer sampled every cycle; precompute
+        // its bucket with the histogram's own math so the hot path
+        // skips the floating-point bucketing entirely.
+        occBucket_.resize(windowEntries_ + 1);
+        for (unsigned occ = 0; occ <= windowEntries_; ++occ)
+            occBucket_[occ] = static_cast<std::uint8_t>(
+                statOccupancy_->bucketIndex(static_cast<double>(occ)));
     }
 
     unsigned windowFree() const { return windowEntries_ - occupancy_; }
     unsigned occupancy() const { return occupancy_; }
 
-    /** Steer an instruction into the window. */
+    /** Steer an instruction into the window during cycle `now`. */
     void
-    enter()
+    enter(Cycle now)
     {
         CSIM_ASSERT(occupancy_ < windowEntries_);
+        foldOccupancy(now);
         ++occupancy_;
         if (statEntered_)
             ++*statEntered_;
@@ -66,30 +85,74 @@ class Cluster
     void
     markReady(InstId id, Cycle when)
     {
-        pending_.emplace(when, id);
+        pending_.emplace_back(when, id);
+        std::push_heap(pending_.begin(), pending_.end(),
+                       std::greater<>{});
     }
 
-    /** Move everything ready by `now` into the issuable set. Called
-     *  once per cycle, so it doubles as the occupancy sample point. */
+    /**
+     * Occupancy sampling is deferred: instead of feeding the histogram
+     * every cycle, each occupancy *change* during cycle `now` first
+     * folds one sample per cycle in [occSampleFrom_, now] at the
+     * pre-change value (a cycle's sample is taken before that cycle's
+     * issues and steers, matching the old sample-at-issue-start
+     * order), and finishOccupancy() flushes the tail at run end. The
+     * bucket totals are bit-identical to per-cycle sampling; the hot
+     * loop just stops paying for it.
+     */
+    void
+    foldOccupancy(Cycle now)
+    {
+        if (statOccupancy_ && now >= occSampleFrom_)
+            statOccupancy_->addToBucket(occBucket_[occupancy_],
+                                        now - occSampleFrom_ + 1);
+        occSampleFrom_ = now + 1;
+    }
+
+    /** Flush the deferred samples of the final unchanged stretch;
+     *  `cycles` is the run's total cycle count (samples cover cycles
+     *  [0, cycles)). */
+    void
+    finishOccupancy(Cycle cycles)
+    {
+        if (statOccupancy_ && cycles > occSampleFrom_)
+            statOccupancy_->addToBucket(occBucket_[occupancy_],
+                                        cycles - occSampleFrom_);
+        occSampleFrom_ = cycles;
+    }
+
+    /** Move everything ready by `now` into the issuable set. */
     void
     promoteReady(Cycle now)
     {
-        if (statOccupancy_)
-            statOccupancy_->add(static_cast<double>(occupancy_));
-        while (!pending_.empty() && pending_.top().first <= now) {
-            readyNow_.push_back(pending_.top().second);
-            pending_.pop();
+        while (!pending_.empty() && pending_.front().first <= now) {
+            readyNow_.push_back(pending_.front().second);
+            std::pop_heap(pending_.begin(), pending_.end(),
+                          std::greater<>{});
+            pending_.pop_back();
         }
     }
+
+    /** Earliest cycle any pending instruction becomes ready
+     *  (invalidCycle when the pending queue is empty). */
+    Cycle
+    nextPendingCycle() const
+    {
+        return pending_.empty() ? invalidCycle : pending_.front().first;
+    }
+
+    /** No instruction is currently contending to issue. */
+    bool readyEmpty() const { return readyNow_.empty(); }
 
     /** Instructions whose operands are available (contending to issue). */
     std::vector<InstId> &readyNow() { return readyNow_; }
 
-    /** An instruction issued: its window entry frees. */
+    /** An instruction issued during cycle `now`: its entry frees. */
     void
-    exitWindow()
+    exitWindow(Cycle now)
     {
         CSIM_ASSERT(occupancy_ > 0);
+        foldOccupancy(now);
         --occupancy_;
     }
 
@@ -135,8 +198,12 @@ class Cluster
     unsigned occupancy_ = 0;
     Counter *statEntered_ = nullptr;
     Histogram *statOccupancy_ = nullptr;
-    std::priority_queue<PendingEntry, std::vector<PendingEntry>,
-                        std::greater<>> pending_;
+    /** occupancy -> histogram bucket, fixed at attachStats time. */
+    std::vector<std::uint8_t> occBucket_;
+    /** First cycle whose occupancy sample is not yet folded. */
+    Cycle occSampleFrom_ = 0;
+    /** Min-heap on (ready cycle, id); front() is the minimum. */
+    std::vector<PendingEntry> pending_;
     std::vector<InstId> readyNow_;
 };
 

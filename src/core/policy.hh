@@ -42,6 +42,14 @@ class CoreView
     virtual const TraceRecord &record(InstId id) const = 0;
     /** Timing record of any dynamic instruction. */
     virtual const InstTiming &timingOf(InstId id) const = 0;
+
+    /**
+     * Static address of any dynamic instruction. Prefer this over
+     * record(id).pc when the pc is all you need: the timing core
+     * serves it from a dense SoA column instead of dragging a whole
+     * 64-byte AoS record through the cache.
+     */
+    virtual Addr pcOf(InstId id) const { return record(id).pc; }
 };
 
 /** The instruction presented to the steering policy. */

@@ -1,6 +1,10 @@
 #include "core/timing_sim.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <memory>
+#include <type_traits>
 
 #include "common/logging.hh"
 #include "core/sim_observer.hh"
@@ -16,6 +20,10 @@ static_assert(numSrcSlots <= 8,
 // rejects numClusters > maxClusters.
 static_assert(maxClusters <= 16,
               "deliveredMask_ is uint16_t: one bit per cluster");
+// Waiter-pool nodes pack (consumer id, slot) like priority keys do.
+static_assert(static_cast<std::uint32_t>(numSrcSlots) - 1 <=
+                  maxPriorityClass,
+              "slot must fit above the id bits");
 
 namespace {
 
@@ -42,24 +50,74 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
                      SteeringPolicy &steering,
                      SchedulingPolicy &scheduling,
                      CommitListener *listener, SimOptions options)
-    : config_(config), trace_(trace), steering_(steering),
-      scheduling_(scheduling), listener_(listener), options_(options)
+    : config_(config), trace_(trace), soa_(trace.soa()),
+      steering_(steering), scheduling_(scheduling),
+      listener_(listener), options_(options)
 {
     config.validate();
     // Larger traces would overflow the id bits of the priority keys
-    // and silently corrupt issue ordering.
+    // (and of the packed waiter nodes) and silently corrupt ordering.
     CSIM_ASSERT(trace.size() <= maxTraceInstructions);
     for (unsigned c = 0; c < config.numClusters; ++c)
         clusters_.emplace_back(config.cluster, config.windowPerCluster);
+    freeWindowsTotal_ = config.numClusters * config.windowPerCluster;
 
+    soaPc_ = soa_.pc().data();
+    soaCls_ = soa_.cls().data();
+    soaLat_ = soa_.execLat().data();
+    soaFlags_ = soa_.flags().data();
+    for (int slot = 0; slot < numSrcSlots; ++slot)
+        soaProd_[slot] = soa_.prod(slot).data();
+
+    // Carve every per-instruction side table out of one arena, wide
+    // columns first so each stays naturally aligned.
     const std::size_t n = trace.size();
-    timing_.resize(n);
-    prioKey_.resize(n, 0);
-    pendingOps_.resize(n, 0);
-    partialReady_.resize(n, 0);
-    waiters_.resize(n);
-    deliveredMask_.resize(n, 0);
-    buckets_.resize(bucketCount);
+    const std::uint64_t links = soa_.producerLinks();
+    CSIM_ASSERT(links < noWaiter);
+    waiterPoolCap_ = static_cast<std::uint32_t>(links);
+
+    const std::size_t arena_bytes =
+        n * sizeof(std::uint64_t) +          // prioKey
+        n * sizeof(Cycle) +                  // partialReady
+        links * sizeof(std::uint64_t) +      // waiter pool: id|slot
+        2 * n * sizeof(std::uint32_t) +      // waiter head/tail
+        links * sizeof(std::uint32_t) +      // waiter pool: next
+        n * sizeof(std::uint16_t) +          // deliveredMask
+        n * sizeof(std::uint8_t);            // pendingOps
+    sideArena_.reset(new std::byte[arena_bytes]);
+    std::byte *cursor = sideArena_.get();
+    auto take = [&](std::size_t bytes) {
+        std::byte *p = cursor;
+        cursor += bytes;
+        return p;
+    };
+    // The timing records live in their own vector, not the arena:
+    // run() hands the whole store to the SimResult by move, so the
+    // harness never pays for an O(n) copy-out.
+    timingStore_.resize(n);
+    timing_ = timingStore_.data();
+    prioKey_ = reinterpret_cast<std::uint64_t *>(
+        take(n * sizeof(std::uint64_t)));
+    partialReady_ = reinterpret_cast<Cycle *>(take(n * sizeof(Cycle)));
+    waiterIdSlot_ = reinterpret_cast<std::uint64_t *>(
+        take(links * sizeof(std::uint64_t)));
+    waiterHead_ = reinterpret_cast<std::uint32_t *>(
+        take(n * sizeof(std::uint32_t)));
+    waiterTail_ = reinterpret_cast<std::uint32_t *>(
+        take(n * sizeof(std::uint32_t)));
+    waiterNext_ = reinterpret_cast<std::uint32_t *>(
+        take(links * sizeof(std::uint32_t)));
+    deliveredMask_ = reinterpret_cast<std::uint16_t *>(
+        take(n * sizeof(std::uint16_t)));
+    pendingOps_ = reinterpret_cast<std::uint8_t *>(take(n));
+    CSIM_ASSERT(cursor == sideArena_.get() + arena_bytes);
+
+    std::memset(prioKey_, 0, n * sizeof(std::uint64_t));
+    std::memset(partialReady_, 0, n * sizeof(Cycle));
+    std::memset(waiterHead_, 0xFF, n * sizeof(std::uint32_t));
+    std::memset(waiterTail_, 0xFF, n * sizeof(std::uint32_t));
+    std::memset(deliveredMask_, 0, n * sizeof(std::uint16_t));
+    std::memset(pendingOps_, 0, n);
 
     if (options_.collectIlp) {
         ilpCycles_.resize(options_.ilpMaxAvailable + 1, 0);
@@ -276,41 +334,15 @@ TimingSim::run()
         static_cast<std::uint64_t>(options_.maxCpi) * n + 100000;
 
     now_ = 0;
-    while (commitIdx_ < n) {
-        doIssue();
-        doCommit();
-        doSteer();
-        doFetch();
-        for (SimObserver *obs : observers_)
-            obs->onCycleEnd(*this);
-        ++now_;
-        if (now_ > cycle_limit) {
-            const InstTiming &h = timing_[commitIdx_];
-            std::fprintf(stderr,
-                         "TimingSim stuck: commit=%llu steer=%llu "
-                         "fetch=%llu n=%llu\n"
-                         "head: fetch=%llu dispatch=%llu ready=%llu "
-                         "issue=%llu complete=%llu cluster=%u "
-                         "pendingOps=%u\n",
-                         (unsigned long long)commitIdx_,
-                         (unsigned long long)steerIdx_,
-                         (unsigned long long)fetchIdx_,
-                         (unsigned long long)n,
-                         (unsigned long long)h.fetch,
-                         (unsigned long long)h.dispatch,
-                         (unsigned long long)h.ready,
-                         (unsigned long long)h.issue,
-                         (unsigned long long)h.complete,
-                         (unsigned)h.cluster,
-                         (unsigned)pendingOps_[commitIdx_]);
-            for (std::size_t c = 0; c < clusters_.size(); ++c) {
-                std::fprintf(stderr, "cluster %zu: occ=%u readyNow=%zu\n",
-                             c, clusters_[c].occupancy(),
-                             clusters_[c].readyNow().size());
-            }
-            CSIM_PANIC("TimingSim: cycle limit exceeded (deadlock?)");
-        }
-    }
+    // Observers receive per-cycle hooks, so observed runs must visit
+    // every cycle; bare runs ride the skip-ahead.
+    if (options_.legacyStep || !observers_.empty())
+        runDense(cycle_limit);
+    else
+        runSkipAhead(cycle_limit);
+
+    for (Cluster &cluster : clusters_)
+        cluster.finishOccupancy(now_);
 
     if (listener_)
         listener_->onRunEnd(*this);
@@ -328,40 +360,266 @@ TimingSim::run()
     result.globalValues = statGlobalValues_->value();
     result.steerStallCycles = statSteerStallCycles_->value();
     result.stats = registry_.snapshot();
-    result.timing = std::move(timing_);
+    // Hand over the backing store; the sim is single-shot, so nothing
+    // reads timing_ after this point.
+    result.timing = std::move(timingStore_);
+    timing_ = nullptr;
     result.ilpCycles = std::move(ilpCycles_);
     result.ilpIssuedSum = std::move(ilpIssuedSum_);
     return result;
 }
 
 void
+TimingSim::runDense(std::uint64_t cycle_limit)
+{
+    const std::uint64_t n = trace_.size();
+    while (commitIdx_ < n) {
+        doIssue();
+        doCommit();
+        doSteer();
+        doFetch();
+        for (SimObserver *obs : observers_)
+            obs->onCycleEnd(*this);
+        ++now_;
+        if (now_ > cycle_limit)
+            stuckPanic();
+    }
+}
+
+void
+TimingSim::runSkipAhead(std::uint64_t cycle_limit)
+{
+    const std::uint64_t n = trace_.size();
+    // The O(clusters) idle probe only runs after a cycle in which no
+    // stage did anything: a busy machine never pays for it, and a
+    // machine going idle pays one densely stepped idle cycle before
+    // the span check fires. Stepping that first idle cycle densely is
+    // stat-exact — a truly idle cycle's dense bookkeeping (the zero-
+    // ILP bucket, the blocked-stage stall counters) is precisely what
+    // skipTo() folds per skipped cycle.
+    bool quiet = true;
+    while (commitIdx_ < n) {
+        Cycle skip_target = now_;
+        {
+            // One scope per dense batch, never per cycle.
+            HOST_PROF_SCOPE("sim.step.dense");
+            while (commitIdx_ < n) {
+                if (quiet) {
+                    skip_target = idleSkipTarget();
+                    if (skip_target != now_)
+                        break;
+                }
+                const std::uint64_t cursors =
+                    commitIdx_ + steerIdx_ + fetchIdx_;
+                const std::uint64_t issued = doIssue();
+                doCommit();
+                doSteer();
+                doFetch();
+                quiet = issued == 0 &&
+                    commitIdx_ + steerIdx_ + fetchIdx_ == cursors;
+                ++now_;
+                if (now_ > cycle_limit)
+                    stuckPanic();
+            }
+        }
+        if (commitIdx_ >= n)
+            break;
+        HOST_PROF_SCOPE("sim.step.skip");
+        skipTo(skip_target, cycle_limit);
+        // The cycle jumped to has a pending event, so step it densely
+        // without re-probing.
+        quiet = false;
+    }
+}
+
+Cycle
+TimingSim::idleSkipTarget() const
+{
+    const std::uint64_t n = trace_.size();
+    Cycle target = invalidCycle;
+
+    // Issue: any issuable (or promotable) instruction forces a dense
+    // cycle; otherwise the earliest pending wakeup bounds the skip.
+    // Both reads are O(1): the mask and bound are kept exact by the
+    // issue and steer stages.
+    if (readyMask_ != 0 || nextPendingBound_ <= now_)
+        return now_;
+    if (nextPendingBound_ < target)
+        target = nextPendingBound_;
+
+    // Commit: the head retires the cycle after it completes.
+    const InstTiming &head = timing_[commitIdx_];
+    if (head.complete != invalidCycle) {
+        if (head.complete < now_)
+            return now_;
+        if (head.complete + 1 < target)
+            target = head.complete + 1;
+    }
+
+    // Steer: consulting the policy has per-call side effects
+    // (predictor training, stall decisions), so any cycle that would
+    // reach the policy is dense. Structural blocks (ROB or all
+    // windows full) persist for the whole idle span — no issues or
+    // commits happen in it — and their per-cycle counters fold.
+    if (steerIdx_ < n) {
+        const InstTiming &s = timing_[steerIdx_];
+        if (s.fetch != invalidCycle) {
+            const Cycle delivered = s.fetch + config_.frontendDepth;
+            if (delivered > now_) {
+                if (delivered < target)
+                    target = delivered;
+            } else if (steerIdx_ - commitIdx_ < config_.robEntries &&
+                       freeWindowsTotal_ > 0) {
+                return now_;
+            }
+        }
+        // Unfetched head: fetch below decides.
+    }
+
+    // Fetch: a stalled front end resumes at a known cycle once the
+    // mispredicted branch has issued; an unstalled front end with
+    // room would fetch right now.
+    if (fetchStalled_) {
+        if (fetchResume_ != invalidCycle) {
+            if (now_ >= fetchResume_)
+                return now_;
+            if (fetchResume_ < target)
+                target = fetchResume_;
+        }
+    } else if (fetchIdx_ < n && fetchIdx_ < fetchBound()) {
+        return now_;
+    }
+
+    return target;
+}
+
+void
+TimingSim::skipTo(Cycle target, std::uint64_t cycle_limit)
+{
+    // No future event at all means the machine is deadlocked: jump to
+    // the limit so the stuck diagnostics fire exactly as dense
+    // stepping's would.
+    if (target > cycle_limit)
+        target = cycle_limit + 1;
+    CSIM_ASSERT(target > now_);
+    const std::uint64_t span = target - now_;
+
+    // Fold the per-cycle bookkeeping of `span` structurally identical
+    // idle cycles: the zero-available ILP bucket and whichever stall
+    // counter the first blocked stage would have bumped each cycle
+    // (mirroring doSteer's first-blocked-reason order and doFetch's
+    // stall accounting). Occupancy needs nothing here — it is folded
+    // at occupancy-change points, and a skipped span by construction
+    // contains none.
+    if (options_.collectIlp)
+        ilpCycles_[0] += span;
+
+    const std::uint64_t n = trace_.size();
+    if (steerIdx_ < n) {
+        const InstTiming &s = timing_[steerIdx_];
+        if (s.fetch != invalidCycle &&
+            s.fetch + config_.frontendDepth <= now_) {
+            if (steerIdx_ - commitIdx_ >= config_.robEntries)
+                *statRobFullCycles_ += span;
+            else if (freeWindowsTotal_ == 0)
+                *statAllWindowsFullCycles_ += span;
+        }
+    }
+    if (fetchStalled_)
+        *statFetchStallCycles_ += span;
+
+    now_ = target;
+    ++skipSpans_;
+    skipCycles_ += span;
+    if (now_ > cycle_limit)
+        stuckPanic();
+}
+
+void
+TimingSim::stuckPanic()
+{
+    const std::uint64_t n = trace_.size();
+    const InstTiming &h = timing_[commitIdx_];
+    std::fprintf(stderr,
+                 "TimingSim stuck: commit=%llu steer=%llu "
+                 "fetch=%llu n=%llu\n"
+                 "head: fetch=%llu dispatch=%llu ready=%llu "
+                 "issue=%llu complete=%llu cluster=%u "
+                 "pendingOps=%u\n",
+                 (unsigned long long)commitIdx_,
+                 (unsigned long long)steerIdx_,
+                 (unsigned long long)fetchIdx_,
+                 (unsigned long long)n,
+                 (unsigned long long)h.fetch,
+                 (unsigned long long)h.dispatch,
+                 (unsigned long long)h.ready,
+                 (unsigned long long)h.issue,
+                 (unsigned long long)h.complete,
+                 (unsigned)h.cluster,
+                 (unsigned)pendingOps_[commitIdx_]);
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        std::fprintf(stderr, "cluster %zu: occ=%u readyNow=%zu\n",
+                     c, clusters_[c].occupancy(),
+                     clusters_[c].readyNow().size());
+    }
+    CSIM_PANIC("TimingSim: cycle limit exceeded (deadlock?)");
+}
+
+std::uint64_t
 TimingSim::doIssue()
 {
+    // Promote pending wakeups only on cycles where one is due; the
+    // bound is the exact cross-cluster minimum (see its declaration),
+    // so skipping the scan can never miss a promotion. Issues this
+    // cycle queue wakeups strictly in the future (execLat >= 1), so
+    // promoting every cluster up front is equivalent to the old
+    // promote-then-issue interleave.
+    if (now_ >= nextPendingBound_) {
+        Cycle next = invalidCycle;
+        for (std::size_t ci = 0; ci < clusters_.size(); ++ci) {
+            Cluster &cluster = clusters_[ci];
+            cluster.promoteReady(now_);
+            if (!cluster.readyEmpty())
+                readyMask_ |= static_cast<std::uint16_t>(1u << ci);
+            const Cycle p = cluster.nextPendingCycle();
+            if (p < next)
+                next = p;
+        }
+        nextPendingBound_ = next;
+    }
+
+    if (readyMask_ == 0) {
+        // Nothing available anywhere: only the ILP accounting runs.
+        if (options_.collectIlp)
+            ++ilpCycles_[0];
+        return 0;
+    }
+
     std::uint64_t available_total = 0;
     std::uint64_t issued_total = 0;
 
-    for (std::size_t ci = 0; ci < clusters_.size(); ++ci) {
+    for (std::uint16_t scan = readyMask_; scan; scan &= scan - 1) {
+        const auto ci =
+            static_cast<std::size_t>(std::countr_zero(scan));
         Cluster &cluster = clusters_[ci];
-        cluster.promoteReady(now_);
         auto &ready = cluster.readyNow();
         available_total += ready.size();
-        if (ready.empty())
-            continue;
 
-        std::sort(ready.begin(), ready.end(),
-                  [this](InstId a, InstId b) {
-                      return prioKey_[a] < prioKey_[b];
-                  });
+        if (ready.size() > 1)
+            std::sort(ready.begin(), ready.end(),
+                      [this](InstId a, InstId b) {
+                          return prioKey_[a] < prioKey_[b];
+                      });
 
         Cluster::PortUse ports;
-        std::vector<InstId> leftover;
-        leftover.reserve(ready.size());
+        std::vector<InstId> &leftover = leftoverScratch_;
+        leftover.clear();
         ClusterStats &cs = clusterStats_[ci];
 
         for (InstId id : ready) {
-            const TraceRecord &rec = trace_[id];
+            const OpClass cls = soaCls_[id];
             if (ports.total >= cluster.ports().issueWidth ||
-                !ports.claim(rec.cls, cluster.ports())) {
+                !ports.claim(cls, cluster.ports())) {
                 leftover.push_back(id);
                 continue;
             }
@@ -369,12 +627,13 @@ TimingSim::doIssue()
             // Issue.
             InstTiming &t = timing_[id];
             t.issue = now_;
-            t.complete = now_ + rec.execLat;
-            cluster.exitWindow();
+            t.complete = now_ + soaLat_[id];
+            cluster.exitWindow(now_);
+            ++freeWindowsTotal_;
             ++issued_total;
-            if (isIntClass(rec.cls))
+            if (isIntClass(cls))
                 ++*cs.intIssued;
-            else if (isFpClass(rec.cls))
+            else if (isFpClass(cls))
                 ++*cs.fpIssued;
             else
                 ++*cs.memIssued;
@@ -393,27 +652,38 @@ TimingSim::doIssue()
             if (fetchStalled_ && id == fetchStallBranch_)
                 fetchResume_ = t.complete + 1;
 
-            // Wake consumers waiting on this value.
-            for (const Waiter &w : waiters_[id]) {
-                const ClusterId wc = timing_[w.id].cluster;
+            // Wake consumers waiting on this value (FIFO per
+            // producer: first delivery per remote cluster gets the
+            // traffic attribution).
+            for (std::uint32_t node = waiterHead_[id];
+                 node != noWaiter; node = waiterNext_[node]) {
+                const std::uint64_t packed = waiterIdSlot_[node];
+                const InstId wid = packed &
+                    (maxTraceInstructions - 1);
+                const int wslot =
+                    static_cast<int>(packed >> prioKeyIdBits);
+                const ClusterId wc = timing_[wid].cluster;
                 const bool cross =
-                    w.slot != srcSlotMem && t.cluster != wc;
+                    wslot != srcSlotMem && t.cluster != wc;
                 const Cycle avail =
                     t.complete + (cross ? config_.fwdLatency : 0);
                 if (cross) {
-                    noteGlobalDelivery(id, w.id, wc);
-                    timing_[w.id].crossMask |=
-                        static_cast<std::uint8_t>(1u << w.slot);
+                    noteGlobalDelivery(id, wid, wc);
+                    timing_[wid].crossMask |=
+                        static_cast<std::uint8_t>(1u << wslot);
                 }
-                if (avail > partialReady_[w.id])
-                    partialReady_[w.id] = avail;
-                CSIM_ASSERT(pendingOps_[w.id] > 0);
-                if (--pendingOps_[w.id] == 0) {
-                    timing_[w.id].ready = partialReady_[w.id];
-                    clusters_[wc].markReady(w.id, partialReady_[w.id]);
+                if (avail > partialReady_[wid])
+                    partialReady_[wid] = avail;
+                CSIM_ASSERT(pendingOps_[wid] > 0);
+                if (--pendingOps_[wid] == 0) {
+                    timing_[wid].ready = partialReady_[wid];
+                    clusters_[wc].markReady(wid, partialReady_[wid]);
+                    if (partialReady_[wid] < nextPendingBound_)
+                        nextPendingBound_ = partialReady_[wid];
                 }
             }
-            waiters_[id].clear();
+            waiterHead_[id] = noWaiter;
+            waiterTail_[id] = noWaiter;
 
             for (SimObserver *obs : observers_)
                 obs->onIssue(*this, id);
@@ -426,6 +696,8 @@ TimingSim::doIssue()
                     obs->onIssueDenied(*this, id);
         }
         ready.swap(leftover);
+        if (ready.empty())
+            readyMask_ &= static_cast<std::uint16_t>(~(1u << ci));
     }
 
     if (options_.collectIlp) {
@@ -435,6 +707,7 @@ TimingSim::doIssue()
         ++ilpCycles_[bucket];
         ilpIssuedSum_[bucket] += issued_total;
     }
+    return issued_total;
 }
 
 void
@@ -479,10 +752,7 @@ TimingSim::doSteer()
             break;  // ROB full
         }
 
-        unsigned total_free = 0;
-        for (const Cluster &cluster : clusters_)
-            total_free += cluster.windowFree();
-        if (total_free == 0) {
+        if (freeWindowsTotal_ == 0) {
             ++*statAllWindowsFullCycles_;
             for (SimObserver *obs : observers_)
                 obs->onSteerStall(*this, SteerStallCause::WindowFull);
@@ -502,7 +772,8 @@ TimingSim::doSteer()
         CSIM_ASSERT(d.cluster < clusters_.size());
         CSIM_ASSERT(clusters_[d.cluster].windowFree() > 0);
 
-        clusters_[d.cluster].enter();
+        clusters_[d.cluster].enter(now_);
+        --freeWindowsTotal_;
         t.dispatch = now_;
         t.cluster = d.cluster;
         t.desired = d.desired;
@@ -524,7 +795,7 @@ TimingSim::doSteer()
         Cycle ready = now_ + 1;  // earliest possible issue
         unsigned pending = 0;
         for (int slot = 0; slot < numSrcSlots; ++slot) {
-            const InstId p = rec.prod[slot];
+            const InstId p = soaProd_[slot][id];
             if (p == invalidInstId)
                 continue;
             if (timing_[p].complete != invalidCycle) {
@@ -541,8 +812,18 @@ TimingSim::doSteer()
                 if (avail > ready)
                     ready = avail;
             } else {
-                waiters_[p].push_back(
-                    {id, static_cast<std::uint8_t>(slot)});
+                // Producer still pending: append to its waiter list.
+                const std::uint32_t node = waiterPoolUsed_++;
+                CSIM_ASSERT(node < waiterPoolCap_);
+                waiterIdSlot_[node] = id |
+                    (static_cast<std::uint64_t>(slot) <<
+                     prioKeyIdBits);
+                waiterNext_[node] = noWaiter;
+                if (waiterTail_[p] == noWaiter)
+                    waiterHead_[p] = node;
+                else
+                    waiterNext_[waiterTail_[p]] = node;
+                waiterTail_[p] = node;
                 ++pending;
             }
         }
@@ -552,6 +833,8 @@ TimingSim::doSteer()
         if (pending == 0) {
             t.ready = ready;
             clusters_[d.cluster].markReady(id, ready);
+            if (ready < nextPendingBound_)
+                nextPendingBound_ = ready;
         }
 
         for (SimObserver *obs : observers_)
@@ -580,25 +863,29 @@ TimingSim::doFetch()
 
     // The front end holds at most depth x width instructions plus the
     // current fetch group.
-    const std::uint64_t fetch_bound = steerIdx_ +
-        static_cast<std::uint64_t>(config_.frontendDepth) *
-        config_.fetchWidth + config_.fetchWidth;
+    const std::uint64_t fetch_bound = fetchBound();
+
+    constexpr std::uint8_t mispredictedCond =
+        TraceSoA::flagIsCondBranch | TraceSoA::flagMispredicted;
+    constexpr std::uint8_t takenBranch =
+        TraceSoA::flagIsBranch | TraceSoA::flagTaken;
 
     unsigned fetched = 0;
     while (fetched < config_.fetchWidth && fetchIdx_ < n &&
            fetchIdx_ < fetch_bound) {
-        const TraceRecord &rec = trace_[fetchIdx_];
+        const std::uint8_t flags = soaFlags_[fetchIdx_];
         timing_[fetchIdx_].fetch = now_;
         ++fetchIdx_;
         ++fetched;
 
-        if (rec.isCondBranch && rec.mispredicted) {
+        if ((flags & mispredictedCond) == mispredictedCond) {
             fetchStalled_ = true;
             fetchStallBranch_ = fetchIdx_ - 1;
             fetchResume_ = invalidCycle;
             break;
         }
-        if (config_.fetchStopAtTaken && rec.isBranch && rec.taken)
+        if (config_.fetchStopAtTaken &&
+            (flags & takenBranch) == takenBranch)
             break;
     }
 }

@@ -18,7 +18,9 @@
 #ifndef CSIM_CORE_TIMING_SIM_HH
 #define CSIM_CORE_TIMING_SIM_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/logging.hh"
@@ -28,6 +30,7 @@
 #include "core/timing.hh"
 #include "obs/stats_registry.hh"
 #include "trace/trace.hh"
+#include "trace/trace_soa.hh"
 
 namespace csim {
 
@@ -71,6 +74,16 @@ struct SimOptions
 {
     /** Collect the per-cycle available/achieved ILP data (Fig. 15). */
     bool collectIlp = false;
+    /**
+     * Escape hatch: step every cycle densely instead of using the
+     * event-driven skip-ahead. Results are identical either way (the
+     * fuzzer's differential check enforces it); dense stepping is only
+     * useful as the reference half of that comparison and when
+     * bisecting a suspected skip-ahead bug. Runs with observers
+     * attached always step densely, because per-cycle hooks must fire
+     * on every cycle.
+     */
+    bool legacyStep = false;
     /** Largest available-ILP bucket tracked. */
     unsigned ilpMaxAvailable = 64;
     /**
@@ -134,13 +147,50 @@ class TimingSim : public CoreView
     {
         return timing_[id];
     }
+    Addr pcOf(InstId id) const override { return soaPc_[id]; }
+
+    /** Idle spans jumped over by the event-driven skip-ahead (0 when
+     *  the run stepped densely: legacyStep or observers attached). */
+    std::uint64_t skipSpans() const { return skipSpans_; }
+    /** Cycles those spans covered (their stats were folded in bulk). */
+    std::uint64_t skipCycles() const { return skipCycles_; }
 
   private:
-    void doComplete();
-    void doIssue();
+    void runDense(std::uint64_t cycle_limit);
+    void runSkipAhead(std::uint64_t cycle_limit);
+    /** Returns the number of instructions issued this cycle (the
+     *  skip-ahead's quiet-cycle gate reads it; the stage cursors
+     *  expose every other kind of activity). */
+    std::uint64_t doIssue();
     void doSteer();
     void doCommit();
     void doFetch();
+
+    /**
+     * The cycle skip-ahead may jump to from now_, or now_ itself when
+     * this cycle can do work (or consult the steering policy) and must
+     * be stepped densely. invalidCycle when no stage has any future
+     * event: the machine is deadlocked and skipTo clamps the jump to
+     * the cycle limit so the stuck panic reproduces exactly.
+     */
+    Cycle idleSkipTarget() const;
+
+    /** Jump now_ to `target`, folding the skipped span's per-cycle
+     *  stats (occupancy samples, ILP idle bucket, stall counters) in
+     *  one shot. */
+    void skipTo(Cycle target, std::uint64_t cycle_limit);
+
+    [[noreturn]] void stuckPanic();
+
+    /** Oldest trace index the front end may fetch this cycle (the
+     *  front-end pipe holds depth x width plus the current group). */
+    std::uint64_t
+    fetchBound() const
+    {
+        return steerIdx_ +
+            static_cast<std::uint64_t>(config_.frontendDepth) *
+            config_.fetchWidth + config_.fetchWidth;
+    }
 
     /** Operand arrival time at the consumer's cluster. */
     Cycle availTime(InstId producer, ClusterId consumer_cluster,
@@ -159,6 +209,8 @@ class TimingSim : public CoreView
     /** The trace must outlive the simulation (it is large; callers
      *  always keep it alive for the results anyway). */
     const Trace &trace_;
+    /** Column view of trace_ (built lazily by the trace, shared). */
+    const TraceSoA &soa_;
     SteeringPolicy &steering_;
     SchedulingPolicy &scheduling_;
     CommitListener *listener_;
@@ -166,6 +218,13 @@ class TimingSim : public CoreView
     /** The flattened observer chain: options_.checker (if any)
      *  followed by the non-null options_.observers entries. */
     std::vector<SimObserver *> observers_;
+
+    // Raw SoA column pointers, hoisted out of the cycle loop.
+    const Addr *soaPc_ = nullptr;
+    const OpClass *soaCls_ = nullptr;
+    const std::uint8_t *soaLat_ = nullptr;
+    const std::uint8_t *soaFlags_ = nullptr;
+    const InstId *soaProd_[numSrcSlots] = {nullptr, nullptr, nullptr};
 
     Cycle now_ = 0;
     std::vector<Cluster> clusters_;
@@ -179,22 +238,56 @@ class TimingSim : public CoreView
     InstId fetchStallBranch_ = invalidInstId;
     Cycle fetchResume_ = 0;
 
-    // Per-instruction state (indexed by trace position).
-    std::vector<InstTiming> timing_;
-    std::vector<std::uint64_t> prioKey_;
-    std::vector<std::uint8_t> pendingOps_;
-    std::vector<Cycle> partialReady_;
-    struct Waiter
-    {
-        InstId id;
-        std::uint8_t slot;
-    };
-    std::vector<std::vector<Waiter>> waiters_;
-    std::vector<std::uint16_t> deliveredMask_;
+    /** Free window entries summed over all clusters, kept in sync at
+     *  enter/exit so the steer stage never rescans the clusters. */
+    unsigned freeWindowsTotal_ = 0;
 
-    // Completion "calendar": buckets_[(cycle) % bucketCount].
-    static constexpr std::size_t bucketCount = 64;
-    std::vector<std::vector<InstId>> buckets_;
+    /** One bit per cluster with a non-empty ready set. readyNow_ is
+     *  only mutated by doIssue, which keeps the mask exact. */
+    std::uint16_t readyMask_ = 0;
+    /**
+     * Exact minimum of nextPendingCycle() across clusters: folded on
+     * every markReady and recomputed by the promote scan (the only
+     * place pending entries are removed). Lets the issue stage and
+     * the idle probe skip the per-cluster scan on cycles with no
+     * wakeup due.
+     */
+    Cycle nextPendingBound_ = invalidCycle;
+
+    // ----------------------------------------------------------------
+    // Per-instruction side tables (indexed by trace position), carved
+    // out of ONE arena allocation: 8-byte columns first, then the
+    // narrower ones, so every column stays naturally aligned. Waiter
+    // lists (consumers blocked on a producer's value) live as per-
+    // producer linked lists threaded through a flat node pool, sized
+    // up front by the trace's producer-link count — appends never
+    // allocate, and wake order stays FIFO per producer.
+    static constexpr std::uint32_t noWaiter = UINT32_MAX;
+
+    std::unique_ptr<std::byte[]> sideArena_;
+    /** Backing store for timing_; moved wholesale into the SimResult
+     *  at the end of run() instead of being copied out. */
+    std::vector<InstTiming> timingStore_;
+    InstTiming *timing_ = nullptr;
+    std::uint64_t *prioKey_ = nullptr;
+    Cycle *partialReady_ = nullptr;
+    /** Pool column: waiting consumer id | (slot << prioKeyIdBits). */
+    std::uint64_t *waiterIdSlot_ = nullptr;
+    std::uint32_t *waiterHead_ = nullptr;
+    std::uint32_t *waiterTail_ = nullptr;
+    /** Pool column: next node of the same producer's list. */
+    std::uint32_t *waiterNext_ = nullptr;
+    std::uint16_t *deliveredMask_ = nullptr;
+    std::uint8_t *pendingOps_ = nullptr;
+    std::uint32_t waiterPoolCap_ = 0;
+    std::uint32_t waiterPoolUsed_ = 0;
+
+    std::uint64_t skipSpans_ = 0;
+    std::uint64_t skipCycles_ = 0;
+
+    /** Issue-stage scratch (denied instructions of the cluster being
+     *  selected); a member so its capacity persists across cycles. */
+    std::vector<InstId> leftoverScratch_;
 
     std::vector<std::uint64_t> ilpCycles_;
     std::vector<std::uint64_t> ilpIssuedSum_;

@@ -6,24 +6,34 @@ std::int64_t
 SparseMemory::read(Addr addr) const
 {
     const Addr page = addr >> pageShift;
+    const std::size_t word =
+        (addr >> 3) & (wordsPerPage - 1);
+    if (page == cachedPage_ && cachedPtr_)
+        return cachedPtr_->words[word];
     auto it = pages_.find(page);
     if (it == pages_.end())
         return 0;
-    const std::size_t word =
-        (addr >> 3) & (wordsPerPage - 1);
-    return it->second->words[word];
+    cachedPage_ = page;
+    cachedPtr_ = it->second.get();
+    return cachedPtr_->words[word];
 }
 
 void
 SparseMemory::write(Addr addr, std::int64_t value)
 {
     const Addr page = addr >> pageShift;
+    const std::size_t word =
+        (addr >> 3) & (wordsPerPage - 1);
+    if (page == cachedPage_ && cachedPtr_) {
+        cachedPtr_->words[word] = value;
+        return;
+    }
     auto &slot = pages_[page];
     if (!slot)
         slot = std::make_unique<Page>();
-    const std::size_t word =
-        (addr >> 3) & (wordsPerPage - 1);
-    slot->words[word] = value;
+    cachedPage_ = page;
+    cachedPtr_ = slot.get();
+    cachedPtr_->words[word] = value;
 }
 
 } // namespace csim

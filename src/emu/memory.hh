@@ -41,6 +41,12 @@ class SparseMemory
     };
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    /** Last page touched: accesses cluster, so most lookups skip the
+     *  hash probe. Never dangles — pages are allocated once and only
+     *  freed with the whole map. */
+    mutable Addr cachedPage_ = ~Addr{0};
+    mutable Page *cachedPtr_ = nullptr;
 };
 
 } // namespace csim

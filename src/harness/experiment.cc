@@ -159,12 +159,18 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
     PolicyStack stack = makeStack(trace, kind, cfg);
 
     // Warmup passes train the predictors across the whole trace.
+    // They honor the stepping-mode escape hatch so a --legacy-step
+    // run is dense end to end, but carry no observers or collection
+    // options: training must see the same machine either way.
     if (stack.trainer) {
         HOST_PROF_SCOPE("harness.warmup");
+        SimOptions warm_options;
+        warm_options.legacyStep = cfg.simOptions.legacyStep;
         for (unsigned w = 0; w < cfg.warmupRuns; ++w) {
             stack.trainer->restart();
             TimingSim warm(machine, trace, *stack.steering,
-                           *stack.scheduling, stack.trainer.get());
+                           *stack.scheduling, stack.trainer.get(),
+                           warm_options);
             (void)warm.run();
         }
     }
@@ -197,6 +203,8 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
                   stack.trainer.get(), sim_options);
     PolicyRun out;
     out.sim = sim.run();
+    out.skipSpans = sim.skipSpans();
+    out.skipCycles = sim.skipCycles();
     if (profiler) {
         out.intervals = profiler->takeSeries();
         if (cfg.profile.scoreCriticality)

@@ -210,7 +210,8 @@ usage(const std::string &benchmark, const char *bad_arg)
                  "usage: %s [--json <path>] [--instructions N] "
                  "[--seeds a,b,c] [--threads N] [--check]\n"
                  "       [--profile] [--profile-interval N] "
-                 "[--trace-out <path>] [--stats-filter p1,p2]\n",
+                 "[--trace-out <path>] [--stats-filter p1,p2]\n"
+                 "       [--legacy-step]\n",
                  benchmark.c_str());
     if (bad_arg)
         CSIM_FATAL_F("%s: unknown or incomplete argument '%s'",
@@ -284,6 +285,8 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
             seeds_ = parseSeedList(benchmark_, next());
         } else if (arg == "--check") {
             check_ = true;
+        } else if (arg == "--legacy-step") {
+            legacyStep_ = true;
         } else if (arg == "--profile") {
             profile_ = true;
         } else if (arg == "--profile-interval") {
@@ -347,6 +350,8 @@ BenchContext::apply(ExperimentConfig &cfg) const
         cfg.verify.checker = true;
         cfg.verify.oracle = true;
     }
+    if (legacyStep_)
+        cfg.simOptions.legacyStep = true;
     if (profile_) {
         cfg.profile.enabled = true;
         if (profileInterval_ != 0)

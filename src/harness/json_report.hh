@@ -6,8 +6,9 @@
  * BenchContext is the shared command-line front end of every bench
  * binary: it parses `--json <path>`, `--instructions N`,
  * `--seeds a,b,c`, `--threads N`, `--check`, `--profile`,
- * `--profile-interval N`, `--trace-out <path>` and
- * `--stats-filter p1,p2`, owns the sweep runner + trace cache the
+ * `--profile-interval N`, `--trace-out <path>`,
+ * `--stats-filter p1,p2` and `--legacy-step`, owns the sweep runner
+ * + trace cache the
  * bench executes on, collects FigureGrids, scalars and per-run
  * registry snapshots (plus interval series when profiling) while the
  * bench runs, and on finish() writes one report file with a stable
@@ -148,7 +149,9 @@ class BenchContext
      * additionally arms cfg.verify: every measured run gets a live
      * PipelineChecker + post-run audit and every policy cell is held
      * to the differential CPI oracles (fatal on violation).
-     * `--profile` arms cfg.profile the same way.
+     * `--profile` arms cfg.profile the same way. `--legacy-step`
+     * forces dense cycle stepping (skip-ahead off) in every run,
+     * warmups included — results must be byte-identical either way.
      */
     void apply(ExperimentConfig &cfg) const;
 
@@ -216,6 +219,7 @@ class BenchContext
     std::vector<std::uint64_t> seeds_;    ///< empty: keep bench default
     unsigned threadsArg_ = 0;             ///< 0: resolve automatically
     bool check_ = false;                  ///< --check: arm cfg.verify
+    bool legacyStep_ = false;             ///< --legacy-step: dense loop
     bool profile_ = false;                ///< --profile: arm cfg.profile
     std::uint64_t profileInterval_ = 0;   ///< 0: keep config default
     /** --stats-filter / CSIM_STATS_FILTER prefixes ("": no filter). */

@@ -33,12 +33,6 @@ cacheKey(const std::string &workload, const WorkloadConfig &cfg,
     return key.str();
 }
 
-std::size_t
-traceBytes(const Trace &trace)
-{
-    return trace.size() * sizeof(TraceRecord);
-}
-
 } // anonymous namespace
 
 TraceCache::TraceCache(std::size_t capacity_bytes)
@@ -140,8 +134,15 @@ TraceCache::get(const std::string &workload, const WorkloadConfig &cfg,
     const std::uint64_t build_start = wallNs();
     std::shared_ptr<const Trace> trace = [&] {
         HOST_PROF_SCOPE("traceCache.build");
-        return buildSharedAnnotatedTrace(workload, cfg, mem,
-                                         gshare_bits);
+        std::shared_ptr<const Trace> built =
+            buildSharedAnnotatedTrace(workload, cfg, mem,
+                                      gshare_bits);
+        // Materialise the column view while the trace is still ours
+        // alone: every sim run will want it, and building it here
+        // keeps the cost inside the build scope instead of racing the
+        // first consumers for the lazy-init mutex.
+        (void)built->soa();
+        return built;
     }();
     const std::uint64_t build_ns = wallNs() - build_start;
     promise.set_value(trace);
@@ -154,7 +155,7 @@ TraceCache::get(const std::string &workload, const WorkloadConfig &cfg,
         auto it = slots_.find(key);
         CSIM_ASSERT(it != slots_.end()); // in-flight: never evicted
         it->second.ready = true;
-        it->second.bytes = traceBytes(*trace);
+        it->second.bytes = trace->footprintBytes();
         bytesHeld_ += it->second.bytes;
         peakBytes_ = std::max(peakBytes_, bytesHeld_);
         *statBytesBuilt_ += it->second.bytes;

@@ -71,14 +71,18 @@ LoadBalanceSteering::steer(const CoreView &view, const SteerRequest &req)
         d.reason = SteerReason::Monolithic;
         return d;
     }
+    // One occupancy query per cluster: a full window shows occupancy
+    // == windowPerCluster, so the free-entry test needs no extra call.
+    const unsigned entries = view.config().windowPerCluster;
     ClusterId best = invalidCluster;
+    unsigned best_occ = entries;
     for (unsigned c = 0; c < n; ++c) {
         ClusterId cid = static_cast<ClusterId>(c);
-        if (view.windowFree(cid) == 0)
-            continue;
-        if (best == invalidCluster ||
-            view.windowOccupancy(cid) < view.windowOccupancy(best))
+        const unsigned occ = view.windowOccupancy(cid);
+        if (occ < best_occ) {
             best = cid;
+            best_occ = occ;
+        }
     }
     CSIM_ASSERT(best != invalidCluster);
     d.cluster = best;
@@ -149,15 +153,19 @@ UnifiedSteering::lbIndex(Addr pc) const
 ClusterId
 UnifiedSteering::leastLoaded(const CoreView &view)
 {
+    // One occupancy query per cluster (see LoadBalanceSteering): full
+    // windows read occupancy == windowPerCluster and never win.
     const unsigned n = view.config().numClusters;
+    const unsigned entries = view.config().windowPerCluster;
     ClusterId best = invalidCluster;
+    unsigned best_occ = entries;
     for (unsigned c = 0; c < n; ++c) {
         ClusterId cid = static_cast<ClusterId>(c);
-        if (view.windowFree(cid) == 0)
-            continue;
-        if (best == invalidCluster ||
-            view.windowOccupancy(cid) < view.windowOccupancy(best))
+        const unsigned occ = view.windowOccupancy(cid);
+        if (occ < best_occ) {
             best = cid;
+            best_occ = occ;
+        }
     }
     CSIM_ASSERT(best != invalidCluster);
     return best;
@@ -193,7 +201,7 @@ UnifiedSteering::steer(const CoreView &view, const SteerRequest &req)
             continue;
         bool crit = false;
         if (options_.focusOnCritical)
-            crit = critPred_->predict(view.record(p).pc);
+            crit = critPred_->predict(view.pcOf(p));
         prods[num_prods++] = ProducerInfo{p, view.clusterOf(p), crit};
     }
 
@@ -257,7 +265,7 @@ UnifiedSteering::steer(const CoreView &view, const SteerRequest &req)
             // convergence point a forwarding delay on every instance.
             const unsigned c_lvl = locPred_->level(rec.pc);
             const unsigned p_lvl =
-                locPred_->level(view.record(prod.id).pc);
+                locPred_->level(view.pcOf(prod.id));
             keep = (c_lvl >= 1 && 2 * c_lvl + 1 >= p_lvl) ||
                 loc_est >= options_.keepAbsoluteLoc;
         }

@@ -3,8 +3,71 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "trace/trace_soa.hh"
 
 namespace csim {
+
+// Out of line: TraceSoA is incomplete where the header declares the
+// unique_ptr member.
+Trace::Trace() = default;
+Trace::~Trace() = default;
+
+Trace::Trace(const Trace &other) : records_(other.records_) {}
+
+Trace::Trace(Trace &&other) noexcept
+    : records_(std::move(other.records_))
+{}
+
+Trace &
+Trace::operator=(const Trace &other)
+{
+    if (this != &other) {
+        records_ = other.records_;
+        invalidateSoA();
+    }
+    return *this;
+}
+
+Trace &
+Trace::operator=(Trace &&other) noexcept
+{
+    if (this != &other) {
+        records_ = std::move(other.records_);
+        invalidateSoA();
+    }
+    return *this;
+}
+
+const TraceSoA &
+Trace::soa() const
+{
+    std::lock_guard<std::mutex> lock(soaMutex_);
+    if (!soa_)
+        soa_ = std::make_unique<TraceSoA>(*this);
+    return *soa_;
+}
+
+std::size_t
+Trace::footprintBytes() const
+{
+    std::lock_guard<std::mutex> lock(soaMutex_);
+    return records_.size() * sizeof(TraceRecord) +
+        (soa_ ? soa_->arenaBytes() : 0);
+}
+
+void
+Trace::invalidateSoA()
+{
+    // Mutation requires exclusive access to the trace (concurrent
+    // readers of a trace being appended to are already a data race on
+    // records_), so the unlocked empty check cannot miss a concurrent
+    // build. It keeps the hot build loop — one call per appended or
+    // annotated record — from taking the mutex 3x per instruction.
+    if (!soa_)
+        return;
+    std::lock_guard<std::mutex> lock(soaMutex_);
+    soa_.reset();
+}
 
 namespace {
 
@@ -41,6 +104,8 @@ srcsOf(const TraceRecord &rec)
 void
 Trace::linkProducers()
 {
+    invalidateSoA();
+
     // Last dynamic writer of each architectural register.
     std::array<InstId, numArchRegs> last_writer;
     last_writer.fill(invalidInstId);

@@ -14,12 +14,16 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/types.hh"
 #include "isa/opcode.hh"
 
 namespace csim {
+
+class TraceSoA;
 
 /** Source operand slots: two register sources plus a memory dependence. */
 enum SrcSlot { srcSlot1 = 0, srcSlot2 = 1, srcSlotMem = 2, numSrcSlots = 3 };
@@ -91,13 +95,30 @@ struct TraceStats
 
 /**
  * A dynamic trace plus the producer-linkage pass.
+ *
+ * The AoS record vector is the build/annotation format; soa() derives
+ * (and caches) the column-oriented TraceSoA the timing core consumes.
+ * Any mutation drops the cached SoA, so a stale view can never be
+ * observed through this object.
  */
 class Trace
 {
   public:
+    Trace();
+    ~Trace();
+
+    // The cached SoA (and its guarding mutex) is derived state: copies
+    // and moves transfer only the records and rebuild it on demand.
+    // Out of line: their bodies need TraceSoA complete.
+    Trace(const Trace &other);
+    Trace(Trace &&other) noexcept;
+    Trace &operator=(const Trace &other);
+    Trace &operator=(Trace &&other) noexcept;
+
     void
     append(TraceRecord rec)
     {
+        invalidateSoA();
         records_.push_back(rec);
     }
 
@@ -107,10 +128,32 @@ class Trace
     {
         return records_[i];
     }
-    TraceRecord &operator[](std::size_t i) { return records_[i]; }
+    TraceRecord &
+    operator[](std::size_t i)
+    {
+        // Handing out a mutable reference may change any field, so the
+        // derived columns cannot be trusted afterwards.
+        invalidateSoA();
+        return records_[i];
+    }
 
     auto begin() const { return records_.begin(); }
     auto end() const { return records_.end(); }
+
+    /**
+     * The structure-of-arrays view of this trace, built lazily on
+     * first use and cached (thread-safe: concurrent sweep cells share
+     * one immutable trace). The reference stays valid until the trace
+     * is mutated or destroyed.
+     */
+    const TraceSoA &soa() const;
+
+    /**
+     * Host bytes held by this trace: the AoS records plus the SoA
+     * arena when the column view has been materialized. This is what
+     * the TraceCache byte budget accounts.
+     */
+    std::size_t footprintBytes() const;
 
     /**
      * Fill in the producer links: for each register source, the most
@@ -132,7 +175,13 @@ class Trace
     bool wellFormed() const;
 
   private:
+    void invalidateSoA();
+
     std::vector<TraceRecord> records_;
+
+    /** Lazily built column view; guarded by soaMutex_. */
+    mutable std::unique_ptr<TraceSoA> soa_;
+    mutable std::mutex soaMutex_;
 };
 
 } // namespace csim

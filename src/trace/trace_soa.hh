@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Structure-of-arrays view of an annotated trace.
+ *
+ * The timing core walks a handful of per-instruction fields (op class,
+ * latency, producers, branch flags, pc) millions of times per run; in
+ * the 64-byte AoS TraceRecord those fields share cache lines with cold
+ * annotation state. TraceSoA splits them into dense per-field columns
+ * backed by ONE arena allocation, so each hot loop streams exactly the
+ * bytes it needs. The AoS Trace stays the build/annotation interchange
+ * format; the SoA is a frozen snapshot derived from it (see
+ * Trace::soa()) and must never outlive a subsequent mutation of its
+ * source trace.
+ */
+
+#ifndef CSIM_TRACE_TRACE_SOA_HH
+#define CSIM_TRACE_TRACE_SOA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+#include "trace/trace.hh"
+
+namespace csim {
+
+class TraceSoA
+{
+  public:
+    /** Packed per-instruction boolean annotations (flags() column). */
+    enum Flag : std::uint8_t
+    {
+        flagIsBranch = 1u << 0,
+        flagIsCondBranch = 1u << 1,
+        flagTaken = 1u << 2,
+        flagMispredicted = 1u << 3,
+        flagL1Miss = 1u << 4,
+        /** writesDest(op) && dest != zeroReg, precomputed. */
+        flagHasDest = 1u << 5,
+    };
+
+    /** Build the columns from an AoS trace (one arena allocation). */
+    explicit TraceSoA(const Trace &trace);
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Bytes of the single backing arena (the whole SoA footprint). */
+    std::size_t arenaBytes() const { return arenaBytes_; }
+
+    /** Producer links with a valid (non-sentinel) producer, over all
+     *  slots — the exact upper bound on waiter-list nodes a timing run
+     *  can ever enqueue. */
+    std::uint64_t producerLinks() const { return producerLinks_; }
+
+    // Hot columns, one entry per dynamic instruction.
+    std::span<const Addr> pc() const { return {pc_, size_}; }
+    std::span<const Addr> memAddr() const { return {memAddr_, size_}; }
+    /** Producer column for one SrcSlot. */
+    std::span<const InstId>
+    prod(int slot) const
+    {
+        return {prod_[slot], size_};
+    }
+    std::span<const Opcode> op() const { return {op_, size_}; }
+    std::span<const OpClass> cls() const { return {cls_, size_}; }
+    std::span<const std::uint8_t>
+    execLat() const
+    {
+        return {execLat_, size_};
+    }
+    std::span<const std::uint8_t> flags() const { return {flags_, size_}; }
+    std::span<const RegIndex> dest() const { return {dest_, size_}; }
+    std::span<const RegIndex> src1() const { return {src1_, size_}; }
+    std::span<const RegIndex> src2() const { return {src2_, size_}; }
+
+    bool
+    isBranch(std::size_t i) const
+    {
+        return flags_[i] & flagIsBranch;
+    }
+    bool
+    isCondBranch(std::size_t i) const
+    {
+        return flags_[i] & flagIsCondBranch;
+    }
+    bool taken(std::size_t i) const { return flags_[i] & flagTaken; }
+    bool
+    mispredicted(std::size_t i) const
+    {
+        return flags_[i] & flagMispredicted;
+    }
+    bool l1Miss(std::size_t i) const { return flags_[i] & flagL1Miss; }
+    bool hasDest(std::size_t i) const { return flags_[i] & flagHasDest; }
+    bool isLoad(std::size_t i) const { return cls_[i] == OpClass::Load; }
+    bool
+    isStore(std::size_t i) const
+    {
+        return cls_[i] == OpClass::Store;
+    }
+
+    /** Reassemble one AoS record (round-trip and diagnostics). */
+    TraceRecord record(std::size_t i) const;
+
+    /** Reassemble the whole AoS trace (round-trip testing). */
+    Trace toTrace() const;
+
+    /** Aggregate statistics computed straight from the columns; equal
+     *  to Trace::stats() of the source trace by construction. */
+    TraceStats stats() const;
+
+  private:
+    std::size_t size_ = 0;
+    std::size_t arenaBytes_ = 0;
+    std::uint64_t producerLinks_ = 0;
+
+    std::unique_ptr<std::byte[]> arena_;
+
+    // Column pointers into arena_ (8-byte columns first, then bytes).
+    Addr *pc_ = nullptr;
+    Addr *memAddr_ = nullptr;
+    InstId *prod_[numSrcSlots] = {nullptr, nullptr, nullptr};
+    Opcode *op_ = nullptr;
+    OpClass *cls_ = nullptr;
+    std::uint8_t *execLat_ = nullptr;
+    std::uint8_t *flags_ = nullptr;
+    RegIndex *dest_ = nullptr;
+    RegIndex *src1_ = nullptr;
+    RegIndex *src2_ = nullptr;
+};
+
+} // namespace csim
+
+#endif // CSIM_TRACE_TRACE_SOA_HH
