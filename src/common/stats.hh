@@ -7,6 +7,7 @@
 #ifndef CSIM_COMMON_STATS_HH
 #define CSIM_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -128,6 +129,14 @@ class Histogram
         CSIM_ASSERT(idx < counts_.size());
         counts_[idx] += weight;
         total_ += weight;
+    }
+
+    /** Forget all samples; shape (buckets, bounds) is kept. */
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
     }
 
     std::size_t size() const { return counts_.size(); }

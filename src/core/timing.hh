@@ -9,6 +9,7 @@
 #define CSIM_CORE_TIMING_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -54,6 +55,34 @@ struct InstTiming
     std::uint8_t crossMask = 0;
 };
 
+/**
+ * One named simulation phase (ChampSim-style warmup/measure split).
+ * Phases partition a run by committed-instruction count: when a
+ * phase's quota commits, the run's measured counters are snapshotted
+ * and reset while every microarchitectural structure — predictors,
+ * caches, windows, in-flight instructions — keeps its state. A
+ * warmup phase's events are excluded from the run's merged totals.
+ */
+struct PhaseSpec
+{
+    std::string name;
+    /** Committed instructions in this phase; 0 = run to trace end
+     *  (valid only for the final phase). */
+    std::uint64_t instructions = 0;
+    bool isWarmup = false;
+};
+
+/** Closed-phase outcome: the phase's own cycle/instruction span plus
+ *  a phase-local stats snapshot. */
+struct PhaseResult
+{
+    std::string name;
+    bool isWarmup = false;
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    StatsSnapshot stats;
+};
+
 /** Outcome of one timing-simulation run. */
 struct SimResult
 {
@@ -77,10 +106,20 @@ struct SimResult
     /**
      * ILP capture (Fig. 15): index a = available ILP that cycle;
      * ilpCycles[a] counts cycles, ilpIssuedSum[a] sums instructions
-     * issued on those cycles. Only filled when SimOptions::collectIlp.
+     * issued on those cycles. Only filled when SimOptions::collectIlp
+     * (whole-run, not phase-split).
      */
     std::vector<std::uint64_t> ilpCycles;
     std::vector<std::uint64_t> ilpIssuedSum;
+
+    /**
+     * Per-phase outcomes when SimOptions::phases was configured
+     * (empty otherwise). With phases, the top-level cycles /
+     * instructions / stats above cover only the *measured* (non-
+     * warmup) phases, merged in phase order; `timing` still spans the
+     * whole trace.
+     */
+    std::vector<PhaseResult> phases;
 
     double
     cpi() const

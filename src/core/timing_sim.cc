@@ -50,14 +50,32 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
                      SteeringPolicy &steering,
                      SchedulingPolicy &scheduling,
                      CommitListener *listener, SimOptions options)
-    : config_(config), trace_(trace), soa_(trace.soa()),
+    : TimingSim(config, &trace, trace.soa(), steering, scheduling,
+                listener, std::move(options))
+{
+}
+
+TimingSim::TimingSim(const MachineConfig &config, const TraceSoA &soa,
+                     SteeringPolicy &steering,
+                     SchedulingPolicy &scheduling,
+                     CommitListener *listener, SimOptions options)
+    : TimingSim(config, nullptr, soa, steering, scheduling, listener,
+                std::move(options))
+{
+}
+
+TimingSim::TimingSim(const MachineConfig &config, const Trace *trace,
+                     const TraceSoA &soa, SteeringPolicy &steering,
+                     SchedulingPolicy &scheduling,
+                     CommitListener *listener, SimOptions options)
+    : config_(config), trace_(trace), soa_(soa),
       steering_(steering), scheduling_(scheduling),
       listener_(listener), options_(options)
 {
     config.validate();
     // Larger traces would overflow the id bits of the priority keys
     // (and of the packed waiter nodes) and silently corrupt ordering.
-    CSIM_ASSERT(trace.size() <= maxTraceInstructions);
+    CSIM_ASSERT(soa_.size() <= maxTraceInstructions);
     for (unsigned c = 0; c < config.numClusters; ++c)
         clusters_.emplace_back(config.cluster, config.windowPerCluster);
     freeWindowsTotal_ = config.numClusters * config.windowPerCluster;
@@ -71,7 +89,7 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
 
     // Carve every per-instruction side table out of one arena, wide
     // columns first so each stays naturally aligned.
-    const std::size_t n = trace.size();
+    const std::size_t n = soa_.size();
     const std::uint64_t links = soa_.producerLinks();
     CSIM_ASSERT(links < noWaiter);
     waiterPoolCap_ = static_cast<std::uint32_t>(links);
@@ -140,6 +158,59 @@ TimingSim::TimingSim(const MachineConfig &config, const Trace &trace,
         listener_->registerStats(registry_);
     for (SimObserver *obs : observers_)
         obs->registerStats(registry_);
+
+    initPhases();
+}
+
+void
+TimingSim::initPhases()
+{
+    if (options_.phases.empty())
+        return;
+    const std::uint64_t n = soa_.size();
+    std::uint64_t budget = 0;
+    for (std::size_t i = 0; i < options_.phases.size(); ++i) {
+        const PhaseSpec &spec = options_.phases[i];
+        const bool last = i + 1 == options_.phases.size();
+        // A zero quota means "to trace end" and only makes sense for
+        // the final phase; earlier zero-length phases would produce
+        // empty snapshots at ambiguous boundaries.
+        CSIM_ASSERT(spec.instructions > 0 || last);
+        budget += spec.instructions;
+    }
+    CSIM_ASSERT(budget <= n);
+    phaseResults_.reserve(options_.phases.size());
+    const std::uint64_t quota = options_.phases.front().instructions;
+    nextPhaseBoundary_ = quota > 0 ? quota : invalidInstId;
+}
+
+void
+TimingSim::closePhase(Cycle end_exclusive)
+{
+    const PhaseSpec &spec = options_.phases[phaseIdx_];
+    PhaseResult res;
+    res.name = spec.name;
+    res.isWarmup = spec.isWarmup;
+    res.instructions = commitIdx_ - phaseStartInst_;
+    res.cycles = end_exclusive - phaseStartCycle_;
+    statCycles_->set(res.cycles);
+    statInstructions_->set(res.instructions);
+    res.stats = registry_.snapshot();
+    phaseResults_.push_back(std::move(res));
+
+    // Zero measured counters only: predictors, caches, windows and
+    // every in-flight instruction keep their state across the boundary.
+    registry_.resetMeasurement();
+    phaseStartInst_ = commitIdx_;
+    phaseStartCycle_ = end_exclusive;
+    ++phaseIdx_;
+    if (phaseIdx_ < options_.phases.size()) {
+        const std::uint64_t quota = options_.phases[phaseIdx_].instructions;
+        nextPhaseBoundary_ =
+            quota > 0 ? commitIdx_ + quota : invalidInstId;
+    } else {
+        nextPhaseBoundary_ = invalidInstId;
+    }
 }
 
 void
@@ -319,7 +390,7 @@ TimingSim::run()
     // count credited below.
     HOST_PROF_SCOPE("sim.run");
 
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     SimResult result;
     if (n == 0) {
         result.stats = registry_.snapshot();
@@ -352,14 +423,40 @@ TimingSim::run()
     // The last instruction committed on cycle now_-1... runtime is the
     // commit cycle of the final instruction plus one (cycles are
     // zero-based).
-    result.cycles = timing_[n - 1].commit + 1;
-    result.instructions = n;
+    const Cycle end_cycles = timing_[n - 1].commit + 1;
     HOST_PROF_INSTRUCTIONS(n);
-    statCycles_->set(result.cycles);
-    statInstructions_->set(n);
-    result.globalValues = statGlobalValues_->value();
-    result.steerStallCycles = statSteerStallCycles_->value();
-    result.stats = registry_.snapshot();
+    if (options_.phases.empty()) {
+        result.cycles = end_cycles;
+        result.instructions = n;
+        statCycles_->set(result.cycles);
+        statInstructions_->set(n);
+        result.globalValues = statGlobalValues_->value();
+        result.steerStallCycles = statSteerStallCycles_->value();
+        result.stats = registry_.snapshot();
+    } else {
+        // Close the trailing phase (quota 0 = "to trace end", or a
+        // quota whose boundary is the final commit), then merge the
+        // measured phases in order for the top-level view.
+        if (phaseIdx_ < options_.phases.size())
+            closePhase(end_cycles);
+        for (const PhaseResult &phase : phaseResults_) {
+            if (phase.isWarmup)
+                continue;
+            result.cycles += phase.cycles;
+            result.instructions += phase.instructions;
+            if (result.stats.empty())
+                result.stats = phase.stats;
+            else
+                result.stats.merge(phase.stats);
+        }
+        if (!result.stats.empty()) {
+            result.globalValues = static_cast<std::uint64_t>(
+                result.stats.value("sim.globalValues"));
+            result.steerStallCycles = static_cast<std::uint64_t>(
+                result.stats.value("steer.stallCycles"));
+        }
+        result.phases = std::move(phaseResults_);
+    }
     // Hand over the backing store; the sim is single-shot, so nothing
     // reads timing_ after this point.
     result.timing = std::move(timingStore_);
@@ -372,7 +469,7 @@ TimingSim::run()
 void
 TimingSim::runDense(std::uint64_t cycle_limit)
 {
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     while (commitIdx_ < n) {
         doIssue();
         doCommit();
@@ -389,7 +486,7 @@ TimingSim::runDense(std::uint64_t cycle_limit)
 void
 TimingSim::runSkipAhead(std::uint64_t cycle_limit)
 {
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     // The O(clusters) idle probe only runs after a cycle in which no
     // stage did anything: a busy machine never pays for it, and a
     // machine going idle pays one densely stepped idle cycle before
@@ -435,7 +532,7 @@ TimingSim::runSkipAhead(std::uint64_t cycle_limit)
 Cycle
 TimingSim::idleSkipTarget() const
 {
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     Cycle target = invalidCycle;
 
     // Issue: any issuable (or promotable) instruction forces a dense
@@ -514,7 +611,7 @@ TimingSim::skipTo(Cycle target, std::uint64_t cycle_limit)
     if (options_.collectIlp)
         ilpCycles_[0] += span;
 
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     if (steerIdx_ < n) {
         const InstTiming &s = timing_[steerIdx_];
         if (s.fetch != invalidCycle &&
@@ -538,7 +635,7 @@ TimingSim::skipTo(Cycle target, std::uint64_t cycle_limit)
 void
 TimingSim::stuckPanic()
 {
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     const InstTiming &h = timing_[commitIdx_];
     std::fprintf(stderr,
                  "TimingSim stuck: commit=%llu steer=%llu "
@@ -713,7 +810,7 @@ TimingSim::doIssue()
 void
 TimingSim::doCommit()
 {
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     unsigned committed = 0;
     while (committed < config_.commitWidth && commitIdx_ < n) {
         InstTiming &t = timing_[commitIdx_];
@@ -723,20 +820,22 @@ TimingSim::doCommit()
         for (SimObserver *obs : observers_)
             obs->onCommit(*this, commitIdx_);
         if (options_.pipeTracer)
-            options_.pipeTracer->onRetire(commitIdx_, trace_[commitIdx_],
-                                          t);
+            options_.pipeTracer->onRetire(commitIdx_,
+                                          recordAt(commitIdx_), t);
         if (listener_)
             listener_->onCommit(*this, commitIdx_);
-        steering_.notifyCommit(*this, commitIdx_, trace_[commitIdx_]);
+        steering_.notifyCommit(*this, commitIdx_, recordAt(commitIdx_));
         ++commitIdx_;
         ++committed;
+        if (commitIdx_ == nextPhaseBoundary_)
+            closePhase(now_ + 1);
     }
 }
 
 void
 TimingSim::doSteer()
 {
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     unsigned steered = 0;
     while (steered < config_.dispatchWidth && steerIdx_ < n) {
         const InstId id = steerIdx_;
@@ -759,7 +858,7 @@ TimingSim::doSteer()
             break;  // every window full: structural stall
         }
 
-        const TraceRecord &rec = trace_[id];
+        const TraceRecord &rec = recordAt(id);
         SteerRequest req{id, &rec};
         SteerDecision d = steering_.steer(*this, req);
         if (d.stall) {
@@ -848,7 +947,7 @@ TimingSim::doSteer()
 void
 TimingSim::doFetch()
 {
-    const std::uint64_t n = trace_.size();
+    const std::uint64_t n = soa_.size();
     if (fetchStalled_) {
         if (fetchResume_ != invalidCycle && now_ >= fetchResume_) {
             fetchStalled_ = false;

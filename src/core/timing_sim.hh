@@ -111,6 +111,14 @@ struct SimOptions
      * run's registry at construction, exactly like `checker`.
      */
     std::vector<SimObserver *> observers;
+    /**
+     * Named warmup/measure phases (see PhaseSpec). Empty = the whole
+     * run is one implicit measured phase with exactly the historical
+     * behavior. Quotas of all but the last phase must be positive and
+     * sum to at most the trace length; a last-phase quota of 0 means
+     * "to trace end".
+     */
+    std::vector<PhaseSpec> phases;
 };
 
 class TimingSim : public CoreView
@@ -128,6 +136,17 @@ class TimingSim : public CoreView
               CommitListener *listener = nullptr,
               SimOptions options = SimOptions{});
 
+    /**
+     * Simulate straight off a column view (e.g. an mmap-ed trace
+     * store) with no AoS trace behind it: record() reassembles
+     * requested records from the columns on demand. The view must
+     * outlive the simulation.
+     */
+    TimingSim(const MachineConfig &config, const TraceSoA &soa,
+              SteeringPolicy &steering, SchedulingPolicy &scheduling,
+              CommitListener *listener = nullptr,
+              SimOptions options = SimOptions{});
+
     /** Run the whole trace to commit and return the timing results. */
     SimResult run();
 
@@ -141,7 +160,7 @@ class TimingSim : public CoreView
     ClusterId clusterOf(InstId id) const override;
     const TraceRecord &record(InstId id) const override
     {
-        return trace_[id];
+        return recordAt(id);
     }
     const InstTiming &timingOf(InstId id) const override
     {
@@ -156,6 +175,35 @@ class TimingSim : public CoreView
     std::uint64_t skipCycles() const { return skipCycles_; }
 
   private:
+    TimingSim(const MachineConfig &config, const Trace *trace,
+              const TraceSoA &soa, SteeringPolicy &steering,
+              SchedulingPolicy &scheduling, CommitListener *listener,
+              SimOptions options);
+
+    /**
+     * One AoS record. Backed by the source trace when there is one;
+     * otherwise reassembled from the columns into a single scratch
+     * slot, so the returned reference is only valid until the next
+     * call (matching how every caller uses it: read, then drop).
+     */
+    const TraceRecord &
+    recordAt(InstId id) const
+    {
+        if (trace_)
+            return (*trace_)[id];
+        scratchRecord_ = soa_.record(id);
+        return scratchRecord_;
+    }
+
+    /** Validate options_.phases against the trace and arm the first
+     *  boundary. */
+    void initPhases();
+
+    /** Close the current phase at end-of-cycle `end_exclusive`:
+     *  snapshot phase-local stats, reset measured counters, arm the
+     *  next boundary. */
+    void closePhase(Cycle end_exclusive);
+
     void runDense(std::uint64_t cycle_limit);
     void runSkipAhead(std::uint64_t cycle_limit);
     /** Returns the number of instructions issued this cycle (the
@@ -206,11 +254,13 @@ class TimingSim : public CoreView
 
     /** Stored by value so callers may pass temporaries. */
     const MachineConfig config_;
-    /** The trace must outlive the simulation (it is large; callers
-     *  always keep it alive for the results anyway). */
-    const Trace &trace_;
-    /** Column view of trace_ (built lazily by the trace, shared). */
+    /** The source AoS trace, or null when simulating a bare column
+     *  view (an mmap-ed store); must outlive the simulation. */
+    const Trace *trace_;
+    /** Column view (of trace_, or standalone when trace_ is null). */
     const TraceSoA &soa_;
+    /** recordAt() reassembly slot for the column-view-only case. */
+    mutable TraceRecord scratchRecord_;
     SteeringPolicy &steering_;
     SchedulingPolicy &scheduling_;
     CommitListener *listener_;
@@ -284,6 +334,17 @@ class TimingSim : public CoreView
 
     std::uint64_t skipSpans_ = 0;
     std::uint64_t skipCycles_ = 0;
+
+    // ----------------------------------------------------------------
+    // Phase bookkeeping (see SimOptions::phases). An unphased run pays
+    // exactly one compare per commit against the invalid sentinel.
+    /** Commit index that closes the current phase; invalidInstId when
+     *  unphased or the final phase runs to trace end. */
+    std::uint64_t nextPhaseBoundary_ = invalidInstId;
+    std::size_t phaseIdx_ = 0;
+    std::uint64_t phaseStartInst_ = 0;
+    Cycle phaseStartCycle_ = 0;
+    std::vector<PhaseResult> phaseResults_;
 
     /** Issue-stage scratch (denied instructions of the cluster being
      *  selected); a member so its capacity persists across cycles. */

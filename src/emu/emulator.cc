@@ -59,18 +59,28 @@ Trace
 Emulator::run(std::uint64_t maxInstrs)
 {
     Trace trace;
-    std::uint64_t pc_index = 0;
+    runChunk(trace, maxInstrs);
+    return trace;
+}
+
+std::uint64_t
+Emulator::runChunk(Trace &out, std::uint64_t maxInstrs)
+{
     std::uint64_t committed = 0;
 
-    while (committed < maxInstrs) {
-        if (pc_index >= prog_.size())
-            break;  // fell off the end of the program
-        const Instruction &inst = prog_.at(pc_index);
-        if (inst.op == Opcode::Halt)
+    while (committed < maxInstrs && !done_) {
+        if (pcIndex_ >= prog_.size()) {
+            done_ = true;  // fell off the end of the program
             break;
+        }
+        const Instruction &inst = prog_.at(pcIndex_);
+        if (inst.op == Opcode::Halt) {
+            done_ = true;
+            break;
+        }
 
         TraceRecord rec;
-        rec.pc = codeBase + 4 * pc_index;
+        rec.pc = codeBase + 4 * pcIndex_;
         rec.op = inst.op;
         rec.cls = opClass(inst.op);
         rec.dest = inst.dest;
@@ -80,7 +90,7 @@ Emulator::run(std::uint64_t maxInstrs)
         rec.isBranch = isBranch(inst.op);
         rec.isCondBranch = isCondBranch(inst.op);
 
-        std::uint64_t next_pc = pc_index + 1;
+        std::uint64_t next_pc = pcIndex_ + 1;
 
         switch (inst.op) {
           case Opcode::Add:
@@ -182,12 +192,12 @@ Emulator::run(std::uint64_t maxInstrs)
             CSIM_PANIC("Emulator: bad opcode");
         }
 
-        trace.append(rec);
+        out.append(rec);
         ++committed;
-        pc_index = next_pc;
+        pcIndex_ = next_pc;
     }
 
-    return trace;
+    return committed;
 }
 
 } // namespace csim

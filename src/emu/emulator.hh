@@ -48,6 +48,19 @@ class Emulator
      */
     Trace run(std::uint64_t maxInstrs);
 
+    /**
+     * Resumable slice of run(): append up to maxInstrs committed
+     * records to `out` and suspend, preserving the PC and all
+     * architectural state for the next chunk. Chunked execution
+     * produces exactly the record sequence one big run() would.
+     * @return records appended (less than maxInstrs only at Halt or
+     * end of program, after which done() is true).
+     */
+    std::uint64_t runChunk(Trace &out, std::uint64_t maxInstrs);
+
+    /** True once execution hit Halt or fell off the program. */
+    bool done() const { return done_; }
+
     /** Base address of the code segment. */
     static constexpr Addr codeBase = 0x1000;
 
@@ -61,6 +74,9 @@ class Emulator
     SparseMemory mem_;
     std::array<std::int64_t, numIntRegs> intRegs_ = {};
     std::array<double, numFpRegs> fpRegs_ = {};
+    /** Static index of the next instruction (resumable execution). */
+    std::uint64_t pcIndex_ = 0;
+    bool done_ = false;
 };
 
 } // namespace csim

@@ -8,6 +8,12 @@ BranchAnnotateResult
 annotateBranches(Trace &trace, unsigned history_bits)
 {
     GsharePredictor pred(history_bits);
+    return annotateBranches(trace, pred);
+}
+
+BranchAnnotateResult
+annotateBranches(Trace &trace, GsharePredictor &pred)
+{
     BranchAnnotateResult res;
     for (std::size_t i = 0; i < trace.size(); ++i) {
         TraceRecord &rec = trace[i];

@@ -13,6 +13,8 @@
 
 namespace csim {
 
+class GsharePredictor;
+
 struct BranchAnnotateResult
 {
     std::uint64_t condBranches = 0;
@@ -25,6 +27,15 @@ struct BranchAnnotateResult
  */
 BranchAnnotateResult annotateBranches(Trace &trace,
                                       unsigned history_bits = 16);
+
+/**
+ * Same pass against a caller-owned predictor whose tables and history
+ * persist across calls — the streaming-build form: annotating a trace
+ * chunk by chunk through one predictor yields exactly the monolithic
+ * pass's outcomes.
+ */
+BranchAnnotateResult annotateBranches(Trace &trace,
+                                      GsharePredictor &pred);
 
 } // namespace csim
 

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "harness/trace_cache.hh"
 #include "obs/host_prof.hh"
+#include "trace/trace_store.hh"
 #include "policy/scheduling.hh"
 #include "policy/steering.hh"
 #include "verify/oracle.hh"
@@ -161,8 +162,12 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
     // Warmup passes train the predictors across the whole trace.
     // They honor the stepping-mode escape hatch so a --legacy-step
     // run is dense end to end, but carry no observers or collection
-    // options: training must see the same machine either way.
-    if (stack.trainer) {
+    // options: training must see the same machine either way. With
+    // phases configured the in-run warmup phase takes over this job
+    // (training runs during the whole measured pass anyway), so the
+    // discarded full passes — previously the dominant cost of a
+    // warmed cell — are skipped entirely.
+    if (stack.trainer && cfg.simOptions.phases.empty()) {
         HOST_PROF_SCOPE("harness.warmup");
         SimOptions warm_options;
         warm_options.legacyStep = cfg.simOptions.legacyStep;
@@ -249,6 +254,31 @@ AggregateResult::merge(const AggregateResult &other)
     globalValues += other.globalValues;
     stats.merge(other.stats);
     intervals.merge(other.intervals);
+
+    // Like-shaped phase lists (every seed/region runs the same specs)
+    // fold elementwise; anything else concatenates, which keeps the
+    // merge total even for heterogeneous inputs.
+    auto sameShape = [&] {
+        if (phases.size() != other.phases.size())
+            return false;
+        for (std::size_t i = 0; i < phases.size(); ++i)
+            if (phases[i].name != other.phases[i].name ||
+                phases[i].isWarmup != other.phases[i].isWarmup)
+                return false;
+        return true;
+    };
+    if (phases.empty()) {
+        phases = other.phases;
+    } else if (sameShape()) {
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            phases[i].instructions += other.phases[i].instructions;
+            phases[i].cycles += other.phases[i].cycles;
+            phases[i].stats.merge(other.phases[i].stats);
+        }
+    } else {
+        phases.insert(phases.end(), other.phases.begin(),
+                      other.phases.end());
+    }
 }
 
 namespace {
@@ -353,12 +383,70 @@ checkCellOracle(const Trace &trace, const MachineConfig &machine,
 
 } // anonymous namespace
 
+/**
+ * Region-sampled evaluation of one cell: K evenly spaced regions are
+ * carved out of the column view, each rebased into a standalone
+ * (wellFormed) mini-trace and simulated with a warmup/measure phase
+ * pair. Region results merge in region order — the same deterministic
+ * fold as the seed loop — so the output is identical at any sweep
+ * thread count.
+ */
+AggregateResult
+runRegionSampledCell(const TraceSoA &soa, const MachineConfig &machine,
+                     PolicyKind kind, const ExperimentConfig &cfg)
+{
+    CSIM_ASSERT(cfg.regionLen > 0);
+    const std::uint64_t n = soa.size();
+    const std::uint64_t k = cfg.regions;
+    CSIM_ASSERT(k >= 1 && k <= n);
+
+    // The recursive per-region config: sampling off, phases on.
+    ExperimentConfig rcfg = cfg;
+    rcfg.regions = 0;
+    rcfg.simOptions.phases.clear();
+    if (cfg.regionWarmup > 0)
+        rcfg.simOptions.phases.push_back(
+            PhaseSpec{"warmup", cfg.regionWarmup, true});
+    rcfg.simOptions.phases.push_back(PhaseSpec{"measure", 0, false});
+
+    const std::uint64_t span = cfg.regionWarmup + cfg.regionLen;
+    const std::uint64_t stride = n / k;
+    AggregateResult agg;
+    for (std::uint64_t r = 0; r < k; ++r) {
+        // Evenly spaced starts; extractRegion clamps a tail region
+        // that would run past the end of the trace.
+        const std::uint64_t base = r * stride;
+        Trace region = extractRegion(soa, base, span);
+        // A clamped tail region may be shorter than the warmup quota;
+        // trim the warmup so the phase budget stays valid (the
+        // measured phase then sees whatever remains).
+        ExperimentConfig cell_cfg = rcfg;
+        if (cfg.regionWarmup > 0 &&
+            cell_cfg.simOptions.phases.front().instructions >=
+                region.size())
+            cell_cfg.simOptions.phases.front().instructions =
+                region.size() > 1 ? region.size() - 1 : 0;
+        if (cell_cfg.simOptions.phases.front().instructions == 0 &&
+            cell_cfg.simOptions.phases.size() > 1)
+            cell_cfg.simOptions.phases.erase(
+                cell_cfg.simOptions.phases.begin());
+        agg.merge(runPolicyCell(region, machine, kind, cell_cfg));
+    }
+    return agg;
+}
+
 AggregateResult
 runPolicyCell(const Trace &trace, const MachineConfig &machine,
               PolicyKind kind, const ExperimentConfig &cfg)
 {
+    if (cfg.regions > 0)
+        return runRegionSampledCell(trace.soa(), machine, kind, cfg);
+
     PolicyRun run = runPolicy(trace, machine, kind, cfg);
-    if (cfg.verify.oracle) {
+    // The differential oracle compares whole-trace CPIs; a phased
+    // run's top-level CPI covers only the measured phases, so the
+    // comparison is no longer apples-to-apples and is skipped.
+    if (cfg.verify.oracle && cfg.simOptions.phases.empty()) {
         HOST_PROF_SCOPE("verify.oracle");
         checkCellOracle(trace, machine, kind, cfg,
                         run.sim.instructions, run.sim.cycles);
@@ -368,6 +456,7 @@ runPolicyCell(const Trace &trace, const MachineConfig &machine,
                     run.breakdown, run.sim.globalValues,
                     run.sim.stats);
     agg.intervals = std::move(run.intervals);
+    agg.phases = std::move(run.sim.phases);
     return agg;
 }
 

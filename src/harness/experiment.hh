@@ -98,6 +98,24 @@ struct ExperimentConfig
     SimOptions simOptions = {};
     VerifyConfig verify = {};
     ProfileConfig profile = {};
+
+    /**
+     * SimPoint-style region sampling: instead of simulating the whole
+     * trace, simulate `regions` evenly spaced regions of `regionLen`
+     * committed instructions each, every region preceded by a
+     * `regionWarmup`-instruction warmup phase whose stats are
+     * discarded. 0 = off (full-trace simulation, the historical
+     * behavior). Regions are merged in region order — the same
+     * deterministic fold the seed loop uses — so results are
+     * byte-identical at any sweep thread count. With sampling on (or
+     * with simOptions.phases set) the legacy full-pass warmupRuns are
+     * skipped: the per-region warmup phase replaces them.
+     */
+    unsigned regions = 0;
+    /** Measured instructions per sampled region. */
+    std::uint64_t regionLen = 0;
+    /** Warmup instructions run (and discarded) before each region. */
+    std::uint64_t regionWarmup = 0;
 };
 
 /** Seed-aggregated outcome of a (workload, machine, policy) cell. */
@@ -119,6 +137,12 @@ struct AggregateResult
     /** Interval time series, merged index-wise across seeds (empty
      *  unless cfg.profile.enabled). */
     IntervalSeries intervals;
+    /**
+     * Phase outcomes when phases (or region sampling) were configured.
+     * Like-named phase lists merge elementwise across seeds/regions,
+     * so "warmup" and "measure" stay two entries with summed spans.
+     */
+    std::vector<PhaseResult> phases;
 
     double
     cpi() const
@@ -193,6 +217,19 @@ AggregateResult runPolicyCell(const Trace &trace,
                               const MachineConfig &machine,
                               PolicyKind kind,
                               const ExperimentConfig &cfg);
+
+/**
+ * Region-sampled cell evaluation straight off a column view (e.g. an
+ * mmap-ed trace store; cfg.regions must be set). Only the sampled
+ * regions are materialized as AoS traces, so peak RSS stays
+ * O(regions x region span) — for a 10M-instruction store mapped from
+ * disk, only the sampled pages are ever touched. Region results merge
+ * in region order, so the outcome is thread-count invariant.
+ */
+AggregateResult runRegionSampledCell(const TraceSoA &soa,
+                                     const MachineConfig &machine,
+                                     PolicyKind kind,
+                                     const ExperimentConfig &cfg);
 
 /**
  * One idealized list-scheduling cell on an already-built trace

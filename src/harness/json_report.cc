@@ -211,7 +211,8 @@ usage(const std::string &benchmark, const char *bad_arg)
                  "[--seeds a,b,c] [--threads N] [--check]\n"
                  "       [--profile] [--profile-interval N] "
                  "[--trace-out <path>] [--stats-filter p1,p2]\n"
-                 "       [--legacy-step]\n",
+                 "       [--legacy-step] [--regions K] "
+                 "[--region-len N] [--warmup N]\n",
                  benchmark.c_str());
     if (bad_arg)
         CSIM_FATAL_F("%s: unknown or incomplete argument '%s'",
@@ -302,6 +303,29 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
             profile_ = true;
         } else if (arg == "--stats-filter") {
             statsFilter_ = parsePrefixList(next());
+        } else if (arg == "--regions") {
+            const std::string v = next();
+            char *end = nullptr;
+            const unsigned long long k =
+                std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || k == 0 || k > 1u << 20)
+                CSIM_FATAL_F("%s: bad --regions '%s'",
+                             benchmark_.c_str(), v.c_str());
+            regions_ = static_cast<unsigned>(k);
+        } else if (arg == "--region-len") {
+            const std::string v = next();
+            char *end = nullptr;
+            regionLen_ = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || regionLen_ == 0)
+                CSIM_FATAL_F("%s: bad --region-len '%s'",
+                             benchmark_.c_str(), v.c_str());
+        } else if (arg == "--warmup") {
+            const std::string v = next();
+            char *end = nullptr;
+            warmup_ = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || warmup_ == 0)
+                CSIM_FATAL_F("%s: bad --warmup '%s'",
+                             benchmark_.c_str(), v.c_str());
         } else if (arg == "--help" || arg == "-h") {
             usage(benchmark_, nullptr);
         } else {
@@ -312,6 +336,9 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
         if (const char *env = std::getenv("CSIM_STATS_FILTER"))
             statsFilter_ = parsePrefixList(env);
     }
+    if (regions_ != 0 && regionLen_ == 0)
+        CSIM_FATAL_F("%s: --regions requires --region-len",
+                     benchmark_.c_str());
 }
 
 BenchContext::~BenchContext() = default;
@@ -357,6 +384,19 @@ BenchContext::apply(ExperimentConfig &cfg) const
         if (profileInterval_ != 0)
             cfg.profile.intervalCycles = profileInterval_;
     }
+    if (regions_ != 0) {
+        cfg.regions = regions_;
+        cfg.regionLen = regionLen_;
+        cfg.regionWarmup = warmup_;
+    } else if (warmup_ != 0) {
+        // Phase-based warmup on the full trace: one discarded warmup
+        // window followed by a to-trace-end measured phase. Replaces
+        // the legacy full-pass warmupRuns (see runPolicy).
+        cfg.simOptions.phases = {
+            PhaseSpec{"warmup", warmup_, true},
+            PhaseSpec{"measure", 0, false},
+        };
+    }
 }
 
 void
@@ -368,9 +408,11 @@ BenchContext::addGrid(const FigureGrid &grid)
 void
 BenchContext::addRunStats(const std::string &label,
                           const StatsSnapshot &s,
-                          const IntervalSeries &intervals)
+                          const IntervalSeries &intervals,
+                          const std::vector<PhaseResult> &phases)
 {
-    runs_.push_back(RunEntry{label, s, intervals, RunHostMetrics{}});
+    runs_.push_back(
+        RunEntry{label, s, intervals, phases, RunHostMetrics{}});
 }
 
 void
@@ -378,7 +420,8 @@ BenchContext::addSweepRuns(const SweepOutcome &outcome)
 {
     for (std::size_t i = 0; i < outcome.cells.size(); ++i)
         addRunStats(outcome.cells[i].label(), outcome.results[i].stats,
-                    outcome.results[i].intervals);
+                    outcome.results[i].intervals,
+                    outcome.results[i].phases);
 }
 
 void
@@ -475,6 +518,49 @@ writeTimerNode(JsonWriter &w, const HostProfNode &node)
     w.endObject();
 }
 
+/** Serialize one run's merged phase outcomes (compact: spans + CPI;
+ *  the run's "stats" object already carries the measured registry). */
+void
+writePhases(JsonWriter &w, const std::vector<PhaseResult> &phases)
+{
+    w.beginArray();
+    for (const PhaseResult &phase : phases) {
+        w.beginObject();
+        w.key("name").value(phase.name);
+        w.key("isWarmup").value(phase.isWarmup);
+        w.key("instructions").value(phase.instructions);
+        w.key("cycles").value(phase.cycles);
+        w.key("cpi").value(phase.instructions
+                               ? static_cast<double>(phase.cycles) /
+                                     static_cast<double>(
+                                         phase.instructions)
+                               : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+/**
+ * Simulated instructions attributed to measured work only. The timer
+ * tree also credits instructions to warmup passes (under
+ * "harness.warmup") and to the trace-build pipelines ("trace.*" /
+ * "traceCache.*"); dividing the bench wall time into the undiscounted
+ * total overstated the top-level MIPS by more than 2x on warmed
+ * benches, so those subtrees are pruned here.
+ */
+std::uint64_t
+measuredInstructions(const HostProfNode &node)
+{
+    if (node.name == "harness.warmup" ||
+        node.name.rfind("trace.", 0) == 0 ||
+        node.name.rfind("traceCache.", 0) == 0)
+        return 0;
+    std::uint64_t sum = node.instructions;
+    for (const HostProfNode &child : node.children)
+        sum += measuredInstructions(child);
+    return sum;
+}
+
 /** Serialize one run's host-cost block (see RunHostMetrics). */
 void
 writeRunHost(JsonWriter &w, const RunHostMetrics &host)
@@ -519,7 +605,7 @@ BenchContext::finish()
 
     JsonWriter w(out);
     w.beginObject();
-    w.key("schemaVersion").value(4);
+    w.key("schemaVersion").value(5);
     w.key("benchmark").value(benchmark_);
     w.key("threads").value(std::uint64_t{threads()});
     w.key("wallSeconds").value(wall);
@@ -540,6 +626,10 @@ BenchContext::finish()
         w.key("label").value(run.label);
         w.key("stats");
         writeSnapshot(w, run.stats.filtered(statsFilter_));
+        if (!run.phases.empty()) {
+            w.key("phases");
+            writePhases(w, run.phases);
+        }
         if (!run.intervals.empty()) {
             w.key("intervals");
             writeIntervalSeries(w, run.intervals);
@@ -574,9 +664,11 @@ BenchContext::finish()
     if (HostProf::compiledIn() && HostProf::enabled()) {
         const HostProfNode tree = HostProf::snapshot();
         const HostMemoryStats mem = sampleHostMemory();
+        const std::uint64_t measured = measuredInstructions(tree);
         w.key("host").beginObject();
         w.key("wallSeconds").value(wall);
-        w.key("hostMips").value(mipsOf(tree.totalInstructions(), wall));
+        w.key("hostMips").value(mipsOf(measured, wall));
+        w.key("measuredInstructions").value(measured);
         w.key("peakRssBytes").value(mem.peakRssBytes);
         w.key("currentRssBytes").value(mem.currentRssBytes);
         w.key("heapBytes").value(mem.heapBytes);

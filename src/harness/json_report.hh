@@ -7,7 +7,8 @@
  * binary: it parses `--json <path>`, `--instructions N`,
  * `--seeds a,b,c`, `--threads N`, `--check`, `--profile`,
  * `--profile-interval N`, `--trace-out <path>`,
- * `--stats-filter p1,p2` and `--legacy-step`, owns the sweep runner
+ * `--stats-filter p1,p2`, `--legacy-step`, `--regions K`,
+ * `--region-len N` and `--warmup N`, owns the sweep runner
  * + trace cache the
  * bench executes on, collects FigureGrids, scalars and per-run
  * registry snapshots (plus interval series when profiling) while the
@@ -15,7 +16,7 @@
  * schema (see README "Observability"):
  *
  *   {
- *     "schemaVersion": 4,
+ *     "schemaVersion": 5,
  *     "benchmark": "<name>",
  *     "threads": <worker thread count>,
  *     "wallSeconds": <bench wall-clock time>,
@@ -23,6 +24,9 @@
  *     "scalars": {"<name>": <number>, ...},
  *     "runs":    [{"label": "<wl/machine/policy>",
  *                  "stats": {"<stat>": <number> | {distribution}},
+ *                  "phases": [{"name", "isWarmup",     // phased
+ *                              "instructions",         // runs only
+ *                              "cycles", "cpi"}, ...],
  *                  "intervals": {"intervalCycles": N,   // profiled
  *                                "series": [...]},      // runs only
  *                  "host": {"wallSeconds", "instructions",
@@ -30,6 +34,7 @@
  *                 ...,
  *                 {"label": "traceCache", "stats": {...}}],
  *     "host":    {"wallSeconds", "hostMips",   // process-wide
+ *                 "measuredInstructions",
  *                 "peakRssBytes", "currentRssBytes",
  *                 "heapBytes", "heapHighWaterBytes",
  *                 "timerTree": {"name", "calls", "ns",
@@ -37,6 +42,13 @@
  *                               "children": [...]},
  *                 "traceCache": {"traceCache.time.*": <number>}}
  *   }
+ *
+ * The top-level host.hostMips divides only *measured* simulation
+ * instructions by the bench wall time: instructions retired inside
+ * warmup passes ("harness.warmup") or the trace-build pipelines
+ * ("trace.*" / "traceCache.*") are excluded, so the figure answers
+ * "how fast does this machine simulate measured work" instead of
+ * silently double-counting discarded passes.
  *
  * Each series entry carries "start", "cycles", a "cpiStack" object
  * whose components sum exactly to "cycles", event counts and a
@@ -61,6 +73,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/timing.hh"
 #include "harness/report.hh"
 #include "obs/interval_profiler.hh"
 #include "obs/stats_registry.hh"
@@ -180,9 +193,11 @@ class BenchContext
     void addGrid(const FigureGrid &grid);
 
     /** Record one aggregate cell's merged registry snapshot, plus its
-     *  interval series when the cell was profiled. */
+     *  interval series when the cell was profiled and its phase
+     *  outcomes when phases / region sampling were configured. */
     void addRunStats(const std::string &label, const StatsSnapshot &s,
-                     const IntervalSeries &intervals = IntervalSeries{});
+                     const IntervalSeries &intervals = IntervalSeries{},
+                     const std::vector<PhaseResult> &phases = {});
 
     /** Record every cell of a sweep outcome via addRunStats. */
     void addSweepRuns(const SweepOutcome &outcome);
@@ -208,6 +223,8 @@ class BenchContext
         std::string label;
         StatsSnapshot stats;
         IntervalSeries intervals;
+        /** Merged phase outcomes (empty: unphased run). */
+        std::vector<PhaseResult> phases;
         /** Host cost metrics; present when wallSeconds > 0. */
         RunHostMetrics host;
     };
@@ -222,6 +239,9 @@ class BenchContext
     bool legacyStep_ = false;             ///< --legacy-step: dense loop
     bool profile_ = false;                ///< --profile: arm cfg.profile
     std::uint64_t profileInterval_ = 0;   ///< 0: keep config default
+    unsigned regions_ = 0;                ///< --regions: sampled regions
+    std::uint64_t regionLen_ = 0;         ///< --region-len: instrs each
+    std::uint64_t warmup_ = 0;            ///< --warmup: phase warmup
     /** --stats-filter / CSIM_STATS_FILTER prefixes ("": no filter). */
     std::vector<std::string> statsFilter_;
     std::chrono::steady_clock::time_point start_;

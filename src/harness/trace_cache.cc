@@ -1,12 +1,17 @@
 #include "harness/trace_cache.hh"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
 #include "common/logging.hh"
 #include "obs/host_prof.hh"
+#include "trace/trace_soa.hh"
+#include "trace/trace_store.hh"
 
 namespace csim {
 
@@ -33,10 +38,35 @@ cacheKey(const std::string &workload, const WorkloadConfig &cfg,
     return key.str();
 }
 
+/** Spill file name: FNV-1a 64 over the cache key (the key encodes
+ *  every build input, so equal hashes mean equal content). */
+std::string
+spillFileName(const std::string &key)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx.trc2",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::size_t
+fileSizeBytes(const std::string &path)
+{
+    struct ::stat st;
+    return ::stat(path.c_str(), &st) == 0 ?
+        static_cast<std::size_t>(st.st_size) : 0;
+}
+
 } // anonymous namespace
 
-TraceCache::TraceCache(std::size_t capacity_bytes)
-    : capacityBytes_(capacity_bytes)
+TraceCache::TraceCache(std::size_t capacity_bytes,
+                       std::string spill_dir)
+    : capacityBytes_(capacity_bytes), spillDir_(std::move(spill_dir))
 {
     statRequests_ = &registry_.addCounter(
         "traceCache.requests", "trace lookups (hits + builds)");
@@ -50,6 +80,18 @@ TraceCache::TraceCache(std::size_t capacity_bytes)
         "traceCache.bytesBuilt", "total bytes of traces built");
     statBytesEvicted_ = &registry_.addCounter(
         "traceCache.bytesEvicted", "total bytes evicted");
+    statSpillWrites_ = &registry_.addCounter(
+        "traceCache.spill.writes",
+        "evicted traces written to the spill directory");
+    statSpillBytes_ = &registry_.addCounter(
+        "traceCache.spill.bytes",
+        "total file bytes of spilled trace stores");
+    statMmapLoads_ = &registry_.addCounter(
+        "traceCache.mmap.loads",
+        "misses served by mmap-ing a spilled store back");
+    statMmapBytes_ = &registry_.addCounter(
+        "traceCache.mmap.bytes",
+        "total file bytes mmap-ed back from spilled stores");
     registry_.addFormula(
         "traceCache.bytesHeld", [this] {
             return static_cast<double>(bytesHeld_);
@@ -101,6 +143,7 @@ TraceCache::get(const std::string &workload, const WorkloadConfig &cfg,
     const std::string key = cacheKey(workload, cfg, mem, gshare_bits);
 
     std::promise<std::shared_ptr<const Trace>> promise;
+    std::string spill_path;
     {
         const std::uint64_t lock_start = wallNs();
         std::unique_lock<std::mutex> lock(mutex_);
@@ -123,16 +166,42 @@ TraceCache::get(const std::string &workload, const WorkloadConfig &cfg,
             *statHitWaitNs_ += wait_ns;
             return trace;
         }
-        ++*statBuilds_;
+        // A spilled entry is rehydrated from its store file instead
+        // of re-running the whole build pipeline.
+        auto sp = spilled_.find(key);
+        if (sp != spilled_.end())
+            spill_path = sp->second.path;
+        if (spill_path.empty())
+            ++*statBuilds_;
         Slot slot;
         slot.future = promise.get_future().share();
         slot.lastUse = ++tick_;
         slots_.emplace(key, std::move(slot));
     }
 
-    // Build outside the lock so unrelated builds proceed in parallel.
+    // Build (or reload) outside the lock so unrelated builds proceed
+    // in parallel.
+    bool spill_fallback = false;
+    std::size_t mmap_bytes = 0;
     const std::uint64_t build_start = wallNs();
     std::shared_ptr<const Trace> trace = [&] {
+        if (!spill_path.empty()) {
+            HOST_PROF_SCOPE("traceCache.mmapLoad");
+            TraceSoA soa;
+            TraceStoreInfo info;
+            if (loadTraceStore(soa, spill_path, &info) ==
+                TraceIoStatus::Ok) {
+                mmap_bytes = info.fileBytes;
+                // Rebase into an owning AoS trace (base 0: identity),
+                // releasing the mapping when `soa` goes out of scope.
+                auto loaded = std::make_shared<Trace>(
+                    extractRegion(soa, 0, soa.size()));
+                (void)loaded->soa();
+                return std::shared_ptr<const Trace>(std::move(loaded));
+            }
+            // Unreadable spill file: fall back to a fresh build.
+            spill_fallback = true;
+        }
         HOST_PROF_SCOPE("traceCache.build");
         std::shared_ptr<const Trace> built =
             buildSharedAnnotatedTrace(workload, cfg, mem,
@@ -151,7 +220,15 @@ TraceCache::get(const std::string &workload, const WorkloadConfig &cfg,
         const std::uint64_t lock_start = wallNs();
         std::lock_guard<std::mutex> lock(mutex_);
         *statLockWaitNs_ += wallNs() - lock_start;
-        *statBuildNs_ += build_ns;
+        if (spill_path.empty() || spill_fallback)
+            *statBuildNs_ += build_ns;
+        if (spill_fallback) {
+            ++*statBuilds_;
+            spilled_.erase(key);
+        } else if (!spill_path.empty()) {
+            ++*statMmapLoads_;
+            *statMmapBytes_ += mmap_bytes;
+        }
         auto it = slots_.find(key);
         CSIM_ASSERT(it != slots_.end()); // in-flight: never evicted
         it->second.ready = true;
@@ -180,6 +257,22 @@ TraceCache::evictLocked(const std::string &protect_key)
         }
         if (victim == slots_.end())
             return; // only the protected / in-flight entries remain
+        // Spill the victim to disk before dropping it so a later miss
+        // mmaps it back instead of re-running the build pipeline. A
+        // previously spilled key's file is still valid (entries are
+        // immutable), so it is never rewritten.
+        if (!spillDir_.empty() && !spilled_.count(victim->first)) {
+            const std::string path =
+                spillDir_ + "/" + spillFileName(victim->first);
+            if (saveTraceStore(*victim->second.future.get(), path)) {
+                SpillEntry entry;
+                entry.path = path;
+                entry.fileBytes = fileSizeBytes(path);
+                ++*statSpillWrites_;
+                *statSpillBytes_ += entry.fileBytes;
+                spilled_.emplace(victim->first, std::move(entry));
+            }
+        }
         bytesHeld_ -= victim->second.bytes;
         ++*statEvictions_;
         *statBytesEvicted_ += victim->second.bytes;

@@ -43,8 +43,20 @@ namespace csim {
 class TraceCache
 {
   public:
-    /** @param capacity_bytes LRU byte budget; 0 means unlimited. */
-    explicit TraceCache(std::size_t capacity_bytes = 0);
+    /**
+     * @param capacity_bytes LRU byte budget; 0 means unlimited.
+     * @param spill_dir When non-empty, entries evicted by the byte
+     *        budget are written to this directory as columnar trace
+     *        stores (one file per cache key, named by a content hash
+     *        of the key) instead of being discarded. A later miss on
+     *        a spilled key mmaps the store back instead of re-running
+     *        the whole build pipeline — the trace-build passes are
+     *        deterministic, so the rehydrated trace is bit-identical.
+     *        The directory must exist and files left in it belong to
+     *        the caller (a temp dir in the bench binaries).
+     */
+    explicit TraceCache(std::size_t capacity_bytes = 0,
+                        std::string spill_dir = "");
 
     TraceCache(const TraceCache &) = delete;
     TraceCache &operator=(const TraceCache &) = delete;
@@ -91,6 +103,16 @@ class TraceCache
     void evictLocked(const std::string &protect_key);
 
     const std::size_t capacityBytes_;
+    const std::string spillDir_;
+
+    /** A spilled entry: its store file and the in-memory footprint it
+     *  had (the rehydrated size, for the byte budget on reload). */
+    struct SpillEntry
+    {
+        std::string path;
+        std::size_t fileBytes = 0;
+    };
+    std::unordered_map<std::string, SpillEntry> spilled_;
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, Slot> slots_;
@@ -105,6 +127,10 @@ class TraceCache
     Counter *statEvictions_ = nullptr;
     Counter *statBytesBuilt_ = nullptr;
     Counter *statBytesEvicted_ = nullptr;
+    Counter *statSpillWrites_ = nullptr;
+    Counter *statSpillBytes_ = nullptr;
+    Counter *statMmapLoads_ = nullptr;
+    Counter *statMmapBytes_ = nullptr;
 
     StatsRegistry timeRegistry_;
     Counter *statBuildNs_ = nullptr;

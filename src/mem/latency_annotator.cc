@@ -8,6 +8,12 @@ MemAnnotateResult
 annotateMemory(Trace &trace, const MemoryModelConfig &config)
 {
     Cache l1(config.l1);
+    return annotateMemory(trace, l1, config);
+}
+
+MemAnnotateResult
+annotateMemory(Trace &trace, Cache &l1, const MemoryModelConfig &config)
+{
     MemAnnotateResult res;
 
     for (std::size_t i = 0; i < trace.size(); ++i) {

@@ -36,6 +36,16 @@ MemAnnotateResult annotateMemory(Trace &trace,
                                  const MemoryModelConfig &config =
                                      MemoryModelConfig{});
 
+/**
+ * Same pass against a caller-owned L1 whose contents persist across
+ * calls — the streaming-build form: annotating chunk by chunk through
+ * one cache yields exactly the monolithic pass's outcomes. The
+ * returned l1 stats cover the cache's whole lifetime so far.
+ */
+MemAnnotateResult annotateMemory(Trace &trace, Cache &l1,
+                                 const MemoryModelConfig &config =
+                                     MemoryModelConfig{});
+
 } // namespace csim
 
 #endif // CSIM_MEM_LATENCY_ANNOTATOR_HH

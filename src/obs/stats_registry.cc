@@ -217,4 +217,21 @@ StatsRegistry::snapshot() const
     return snap;
 }
 
+void
+StatsRegistry::resetMeasurement()
+{
+    for (Entry &e : entries_) {
+        switch (e.kind) {
+          case StatKind::Counter:
+            e.counter->set(0);
+            break;
+          case StatKind::Distribution:
+            e.dist->reset();
+            break;
+          case StatKind::Formula:
+            break;
+        }
+    }
+}
+
 } // namespace csim

@@ -154,6 +154,15 @@ class StatsRegistry
 
     StatsSnapshot snapshot() const;
 
+    /**
+     * Zero every counter and distribution (formulas recompute from
+     * them and need no reset). This is the phase-boundary operation:
+     * a warmup phase's events are discarded while the components that
+     * own the counters — predictors, caches, steering state — keep
+     * their trained microarchitectural state untouched.
+     */
+    void resetMeasurement();
+
   private:
     struct Entry
     {

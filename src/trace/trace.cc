@@ -104,35 +104,34 @@ srcsOf(const TraceRecord &rec)
 void
 Trace::linkProducers()
 {
-    invalidateSoA();
+    StreamingProducerLinker linker;
+    linker.link(*this, 0);
+}
 
-    // Last dynamic writer of each architectural register.
-    std::array<InstId, numArchRegs> last_writer;
-    last_writer.fill(invalidInstId);
-
-    // Last store to each 8-byte word.
-    std::unordered_map<Addr, InstId> last_store;
-
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-        TraceRecord &rec = records_[i];
+void
+StreamingProducerLinker::link(Trace &chunk, InstId base)
+{
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+        TraceRecord &rec = chunk[i];
+        const InstId id = base + i;
         rec.prod = {invalidInstId, invalidInstId, invalidInstId};
 
         const SrcRegs srcs = srcsOf(rec);
         if (srcs.n >= 1 && srcs.s1 != zeroReg)
-            rec.prod[srcSlot1] = last_writer[srcs.s1];
+            rec.prod[srcSlot1] = lastWriter_[srcs.s1];
         if (srcs.n >= 2 && srcs.s2 != zeroReg)
-            rec.prod[srcSlot2] = last_writer[srcs.s2];
+            rec.prod[srcSlot2] = lastWriter_[srcs.s2];
 
         if (rec.isLoad()) {
-            auto it = last_store.find(rec.memAddr >> 3);
-            if (it != last_store.end())
+            auto it = lastStore_.find(rec.memAddr >> 3);
+            if (it != lastStore_.end())
                 rec.prod[srcSlotMem] = it->second;
         } else if (rec.isStore()) {
-            last_store[rec.memAddr >> 3] = static_cast<InstId>(i);
+            lastStore_[rec.memAddr >> 3] = id;
         }
 
         if (rec.hasDest())
-            last_writer[rec.dest] = static_cast<InstId>(i);
+            lastWriter_[rec.dest] = id;
     }
 }
 

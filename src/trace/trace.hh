@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -182,6 +183,31 @@ class Trace
     /** Lazily built column view; guarded by soaMutex_. */
     mutable std::unique_ptr<TraceSoA> soa_;
     mutable std::mutex soaMutex_;
+};
+
+/**
+ * The producer-linkage pass with state that persists across chunks:
+ * linking a trace chunk by chunk through one linker (passing each
+ * chunk's global base id) writes exactly the links
+ * Trace::linkProducers() would over the concatenated trace — the
+ * streaming-build form. Links are *global* ids, so a chunk linked
+ * with base > 0 is not wellFormed() on its own; it becomes so again
+ * when the ids are region-remapped (extractRegion) or the chunks are
+ * stored and reloaded as one trace.
+ */
+class StreamingProducerLinker
+{
+  public:
+    StreamingProducerLinker() { lastWriter_.fill(invalidInstId); }
+
+    /** Link chunk's producers; `base` is chunk[0]'s global id. */
+    void link(Trace &chunk, InstId base);
+
+  private:
+    /** Last dynamic writer of each architectural register. */
+    std::array<InstId, numArchRegs> lastWriter_;
+    /** Last store to each 8-byte word. */
+    std::unordered_map<Addr, InstId> lastStore_;
 };
 
 } // namespace csim

@@ -1,5 +1,7 @@
 #include "trace/trace_io.hh"
 
+#include <bit>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -11,7 +13,7 @@ namespace {
 constexpr char magic[8] = {'c', 's', 'i', 'm', 't', 'r', 'c', '\0'};
 constexpr std::uint32_t version = 1;
 
-/** On-disk record layout (packed, little-endian host assumed). */
+/** On-disk record layout (packed, little-endian). */
 struct DiskRecord
 {
     std::uint64_t pc;
@@ -26,6 +28,22 @@ struct DiskRecord
     std::uint8_t flags;
     std::uint8_t pad = 0;
 };
+
+// The record is fwritten/freaded whole, so its layout IS the file
+// format: pin it down so a compiler or ABI change cannot silently
+// re-arrange the bytes on disk.
+static_assert(sizeof(DiskRecord) == 48,
+              "trace v1 on-disk record must stay 48 bytes");
+static_assert(offsetof(DiskRecord, memAddr) == 8 &&
+                  offsetof(DiskRecord, prod) == 16 &&
+                  offsetof(DiskRecord, op) == 40 &&
+                  offsetof(DiskRecord, pad) == 47,
+              "trace v1 on-disk record field offsets changed");
+static_assert(sizeof(InstId) == 8 && sizeof(Addr) == 8 &&
+                  sizeof(RegIndex) == 1 && sizeof(Opcode) == 1 &&
+                  sizeof(OpClass) == 1,
+              "trace element types changed size; bump the format "
+              "version");
 
 constexpr std::uint8_t flagBranch = 1;
 constexpr std::uint8_t flagCond = 2;
@@ -50,6 +68,7 @@ traceIoStatusName(TraceIoStatus s)
       case TraceIoStatus::BadMagic: return "bad magic";
       case TraceIoStatus::BadVersion: return "bad version";
       case TraceIoStatus::Truncated: return "truncated";
+      case TraceIoStatus::BadEndianness: return "bad endianness";
       default: return "unknown";
     }
 }
@@ -97,6 +116,11 @@ saveTrace(const Trace &trace, const std::string &path)
 TraceIoStatus
 loadTrace(Trace &trace, const std::string &path)
 {
+    // The format is little-endian; a big-endian host would reinterpret
+    // every multi-byte field. Reject up front rather than mis-load.
+    if constexpr (std::endian::native != std::endian::little)
+        return TraceIoStatus::BadEndianness;
+
     FileHandle f(std::fopen(path.c_str(), "rb"));
     if (!f)
         return TraceIoStatus::CannotOpen;

@@ -29,6 +29,8 @@ enum class TraceIoStatus
     BadMagic,
     BadVersion,
     Truncated,
+    /** File (or host) byte order does not match little-endian. */
+    BadEndianness,
 };
 
 const char *traceIoStatusName(TraceIoStatus s);

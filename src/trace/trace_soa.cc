@@ -69,6 +69,31 @@ TraceSoA::TraceSoA(const Trace &trace)
     }
 }
 
+TraceSoA::TraceSoA(const Columns &cols,
+                   std::shared_ptr<const void> keepalive)
+    : size_(cols.size), producerLinks_(cols.producerLinks),
+      keepalive_(std::move(keepalive))
+{
+    constexpr std::size_t wideColumns = 2 + numSrcSlots;
+    constexpr std::size_t byteColumns = 7;
+    arenaBytes_ = size_ * (wideColumns * sizeof(std::uint64_t) +
+                           byteColumns * sizeof(std::uint8_t));
+
+    // The view is read-only after construction, so adopting const
+    // columns through the non-const pointers is safe.
+    pc_ = const_cast<Addr *>(cols.pc);
+    memAddr_ = const_cast<Addr *>(cols.memAddr);
+    for (int slot = 0; slot < numSrcSlots; ++slot)
+        prod_[slot] = const_cast<InstId *>(cols.prod[slot]);
+    op_ = const_cast<Opcode *>(cols.op);
+    cls_ = const_cast<OpClass *>(cols.cls);
+    execLat_ = const_cast<std::uint8_t *>(cols.execLat);
+    flags_ = const_cast<std::uint8_t *>(cols.flags);
+    dest_ = const_cast<RegIndex *>(cols.dest);
+    src1_ = const_cast<RegIndex *>(cols.src1);
+    src2_ = const_cast<RegIndex *>(cols.src2);
+}
+
 TraceRecord
 TraceSoA::record(std::size_t i) const
 {

@@ -42,8 +42,44 @@ class TraceSoA
         flagHasDest = 1u << 5,
     };
 
+    /**
+     * Externally owned columns (the trace-store mmap path). Pointers
+     * must stay valid for the keepalive's lifetime; TraceSoA never
+     * writes through them after construction.
+     */
+    struct Columns
+    {
+        std::size_t size = 0;
+        /** Valid producer links over all slots (see producerLinks()). */
+        std::uint64_t producerLinks = 0;
+        const Addr *pc = nullptr;
+        const Addr *memAddr = nullptr;
+        const InstId *prod[numSrcSlots] = {nullptr, nullptr, nullptr};
+        const Opcode *op = nullptr;
+        const OpClass *cls = nullptr;
+        const std::uint8_t *execLat = nullptr;
+        const std::uint8_t *flags = nullptr;
+        const RegIndex *dest = nullptr;
+        const RegIndex *src1 = nullptr;
+        const RegIndex *src2 = nullptr;
+    };
+
+    /** Empty view (no columns). */
+    TraceSoA() = default;
+
     /** Build the columns from an AoS trace (one arena allocation). */
     explicit TraceSoA(const Trace &trace);
+
+    /**
+     * Adopt externally owned columns (e.g. an mmap-ed trace store).
+     * `keepalive` is retained for the lifetime of this view and keeps
+     * the backing storage (mapping or decode arena) alive; arenaBytes()
+     * reports the columns' aggregate byte size either way.
+     */
+    TraceSoA(const Columns &cols, std::shared_ptr<const void> keepalive);
+
+    TraceSoA(TraceSoA &&) noexcept = default;
+    TraceSoA &operator=(TraceSoA &&) noexcept = default;
 
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
@@ -118,6 +154,9 @@ class TraceSoA
     std::uint64_t producerLinks_ = 0;
 
     std::unique_ptr<std::byte[]> arena_;
+    /** External backing storage (mmap keepalive); null when arena_
+     *  owns the columns. */
+    std::shared_ptr<const void> keepalive_;
 
     // Column pointers into arena_ (8-byte columns first, then bytes).
     Addr *pc_ = nullptr;

@@ -1,9 +1,12 @@
 #include "workloads/registry.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
+#include "frontend/gshare.hh"
 #include "obs/host_prof.hh"
+#include "trace/trace_store.hh"
 
 namespace csim {
 
@@ -13,21 +16,22 @@ struct Entry
 {
     const char *name;
     WorkloadBuilder builder;
+    WorkloadPreparer preparer;
 };
 
 constexpr Entry entries[] = {
-    {"bzip2", buildBzip2},
-    {"crafty", buildCrafty},
-    {"eon", buildEon},
-    {"gap", buildGap},
-    {"gcc", buildGcc},
-    {"gzip", buildGzip},
-    {"mcf", buildMcf},
-    {"parser", buildParser},
-    {"perl", buildPerl},
-    {"twolf", buildTwolf},
-    {"vortex", buildVortex},
-    {"vpr", buildVpr},
+    {"bzip2", buildBzip2, prepareBzip2},
+    {"crafty", buildCrafty, prepareCrafty},
+    {"eon", buildEon, prepareEon},
+    {"gap", buildGap, prepareGap},
+    {"gcc", buildGcc, prepareGcc},
+    {"gzip", buildGzip, prepareGzip},
+    {"mcf", buildMcf, prepareMcf},
+    {"parser", buildParser, prepareParser},
+    {"perl", buildPerl, preparePerl},
+    {"twolf", buildTwolf, prepareTwolf},
+    {"vortex", buildVortex, prepareVortex},
+    {"vpr", buildVpr, prepareVpr},
 };
 
 } // anonymous namespace
@@ -50,6 +54,15 @@ workloadBuilder(const std::string &name)
     for (const Entry &e : entries)
         if (name == e.name)
             return e.builder;
+    CSIM_FATAL("unknown workload name");
+}
+
+WorkloadPreparer
+workloadPreparer(const std::string &name)
+{
+    for (const Entry &e : entries)
+        if (name == e.name)
+            return e.preparer;
     CSIM_FATAL("unknown workload name");
 }
 
@@ -92,6 +105,47 @@ buildSharedAnnotatedTrace(const std::string &name,
 {
     return std::make_shared<const Trace>(
         buildAnnotatedTrace(name, cfg, mem, gshare_bits));
+}
+
+TraceStoreBuildResult
+buildTraceStoreFile(const std::string &name, const WorkloadConfig &cfg,
+                    const std::string &path,
+                    std::uint64_t chunkInstructions,
+                    const MemoryModelConfig &mem, unsigned gshare_bits)
+{
+    HOST_PROF_SCOPE("trace.buildStore");
+    CSIM_ASSERT(chunkInstructions > 0);
+
+    PreparedWorkload w = workloadPreparer(name)(cfg);
+    TraceStoreWriter writer(path, cfg.targetInstructions);
+
+    // Each pass's state lives across chunks, so chunked annotation
+    // replays the monolithic passes exactly (see buildAnnotatedTrace).
+    StreamingProducerLinker linker;
+    GsharePredictor pred(gshare_bits);
+    Cache l1(mem.l1);
+
+    TraceStoreBuildResult res;
+    while (res.instructions < cfg.targetInstructions &&
+           !w.emulator->done()) {
+        const std::uint64_t want =
+            std::min(chunkInstructions,
+                     cfg.targetInstructions - res.instructions);
+        Trace chunk;
+        if (w.emulator->runChunk(chunk, want) == 0)
+            break;
+        linker.link(chunk, res.instructions);
+        annotateBranches(chunk, pred);
+        annotateMemory(chunk, l1, mem);
+        if (!writer.append(chunk))
+            return res;
+        res.instructions += chunk.size();
+    }
+    if (!writer.finalize())
+        return res;
+    HOST_PROF_INSTRUCTIONS(res.instructions);
+    res.ok = true;
+    return res;
 }
 
 } // namespace csim

@@ -24,6 +24,10 @@ const std::vector<std::string> &workloadNames();
 /** Builder for a named workload; fatals on an unknown name. */
 WorkloadBuilder workloadBuilder(const std::string &name);
 
+/** Paused-at-entry preparer for a named workload (streaming builds);
+ *  fatals on an unknown name. */
+WorkloadPreparer workloadPreparer(const std::string &name);
+
 /** Build the raw (unannotated) trace for a named workload. */
 Trace buildWorkloadTrace(const std::string &name,
                          const WorkloadConfig &cfg);
@@ -50,6 +54,30 @@ buildSharedAnnotatedTrace(const std::string &name,
                           const MemoryModelConfig &mem =
                               MemoryModelConfig{},
                           unsigned gshare_bits = 16);
+
+/** Outcome of a streaming store build. */
+struct TraceStoreBuildResult
+{
+    bool ok = false;
+    /** Dynamic instructions written (may stop short at Halt). */
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * Stream-build the annotated trace for a named workload directly into
+ * a v2 trace store file: emulate, link producers and annotate in
+ * bounded chunks, appending each chunk's columns to the store — peak
+ * host memory is O(chunkInstructions), not O(targetInstructions).
+ * Because every pass (linking, gshare, L1) carries its state across
+ * chunks, the stored trace is byte-identical to what
+ * buildAnnotatedTrace would produce with the same arguments.
+ */
+TraceStoreBuildResult
+buildTraceStoreFile(const std::string &name, const WorkloadConfig &cfg,
+                    const std::string &path,
+                    std::uint64_t chunkInstructions = 1u << 16,
+                    const MemoryModelConfig &mem = MemoryModelConfig{},
+                    unsigned gshare_bits = 16);
 
 } // namespace csim
 

@@ -19,11 +19,13 @@
 
 namespace csim {
 
-Trace
-buildBzip2(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareBzip2(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x627a6970ull + 11);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     const ArrayRegion tblA{0x100000, 1024};  // index tables
@@ -71,7 +73,8 @@ buildBzip2(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(1), 0);
     emu.setReg(r(2), static_cast<std::int64_t>(tblA.base));
     emu.setReg(r(3), static_cast<std::int64_t>(tblB.base));
@@ -90,7 +93,13 @@ buildBzip2(const WorkloadConfig &cfg)
     fillRandomIndices(emu, tblC, rng, tblD.words);
     fillRandomIndices(emu, tblD, rng, 8);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildBzip2(const WorkloadConfig &cfg)
+{
+    return prepareBzip2(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

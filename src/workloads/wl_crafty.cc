@@ -18,11 +18,13 @@
 
 namespace csim {
 
-Trace
-buildCrafty(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareCrafty(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x63726166ull + 19);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     const ArrayRegion boards{0x100000, 1024};
@@ -72,7 +74,8 @@ buildCrafty(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(2), static_cast<std::int64_t>(boards.base));
     emu.setReg(r(3), static_cast<std::int64_t>(attacks.base));
     emu.setReg(r(4), static_cast<std::int64_t>(boards.words - 1));
@@ -85,7 +88,13 @@ buildCrafty(const WorkloadConfig &cfg)
     fillRandom(emu, boards, rng, 0, (1ll << 31));
     fillRandom(emu, attacks, rng, 0, (1ll << 31));
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildCrafty(const WorkloadConfig &cfg)
+{
+    return prepareCrafty(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

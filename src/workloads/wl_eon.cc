@@ -17,11 +17,13 @@
 
 namespace csim {
 
-Trace
-buildEon(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareEon(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x656f6e21ull + 23);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
     const auto f = Program::f;
 
@@ -64,7 +66,8 @@ buildEon(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(2), static_cast<std::int64_t>(rays.base));
     emu.setReg(r(4), 1023);
     emu.setReg(r(5), 24);
@@ -72,7 +75,13 @@ buildEon(const WorkloadConfig &cfg)
 
     fillRandom(emu, rays, rng, 1, 255);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildEon(const WorkloadConfig &cfg)
+{
+    return prepareEon(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

@@ -17,11 +17,13 @@
 
 namespace csim {
 
-Trace
-buildGap(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareGap(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x67617021ull + 29);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     const ArrayRegion vecA{0x100000, 2048};
@@ -68,7 +70,8 @@ buildGap(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(2), static_cast<std::int64_t>(vecA.base));
     emu.setReg(r(3), static_cast<std::int64_t>(vecB.base));
     emu.setReg(r(4), static_cast<std::int64_t>(vecC.base));
@@ -86,7 +89,13 @@ buildGap(const WorkloadConfig &cfg)
     fillRandom(emu, vecA, rng, 0, (1ll << 31) - 1);
     fillRandom(emu, vecB, rng, 0, (1ll << 31) - 1);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildGap(const WorkloadConfig &cfg)
+{
+    return prepareGap(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

@@ -21,11 +21,13 @@
 
 namespace csim {
 
-Trace
-buildGcc(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareGcc(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x67636321ull + 31);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     constexpr int numHandlers = 24;
@@ -88,7 +90,8 @@ buildGcc(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(2), static_cast<std::int64_t>(ir.base));
     emu.setReg(r(3), static_cast<std::int64_t>(operands.base));
     emu.setReg(r(4), static_cast<std::int64_t>(output.base));
@@ -113,7 +116,13 @@ buildGcc(const WorkloadConfig &cfg)
     }
     fillRandom(emu, operands, rng, 0, 1 << 16);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildGcc(const WorkloadConfig &cfg)
+{
+    return prepareGcc(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

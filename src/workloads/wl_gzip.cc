@@ -19,11 +19,13 @@
 
 namespace csim {
 
-Trace
-buildGzip(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareGzip(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x677a6970ull + 13);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     const ArrayRegion chain{0x100000, 2048};  // next-pointer table
@@ -64,7 +66,8 @@ buildGzip(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(2), static_cast<std::int64_t>(window.base));
     emu.setReg(r(3), 3);                    // match value (rare in data)
     emu.setReg(r(4), static_cast<std::int64_t>(chain.words - 1));
@@ -76,7 +79,13 @@ buildGzip(const WorkloadConfig &cfg)
     fillPointerCycle(emu, chain, rng);
     fillRandomIndices(emu, window, rng, 64); // value 3 hits ~1.6%
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildGzip(const WorkloadConfig &cfg)
+{
+    return prepareGzip(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

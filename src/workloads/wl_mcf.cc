@@ -18,11 +18,13 @@
 
 namespace csim {
 
-Trace
-buildMcf(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareMcf(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x6d636621ull + 17);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     // 2^17 nodes of 4 words each = 4MB: far beyond the 32KB L1.
@@ -50,7 +52,8 @@ buildMcf(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(1), static_cast<std::int64_t>(next.base));
     emu.setReg(r(3), 8);                    // taken ~12.5%: mostly
                                             // predictable (mcf is
@@ -64,7 +67,13 @@ buildMcf(const WorkloadConfig &cfg)
         static_cast<Addr>(payload_off), nodes};
     fillRandomIndices(emu, payload, rng, 64);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildMcf(const WorkloadConfig &cfg)
+{
+    return prepareMcf(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

@@ -17,11 +17,13 @@
 
 namespace csim {
 
-Trace
-buildParser(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareParser(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x70617273ull + 37);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     // A 32KB dictionary: right at the L1 capacity, so the chase sees
@@ -66,7 +68,8 @@ buildParser(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(3), 7);                    // key: ~1/48 of payload
     emu.setReg(r(4), 20);                   // trip limit
     emu.setReg(r(5), static_cast<std::int64_t>(list.words - 1));
@@ -77,7 +80,13 @@ buildParser(const WorkloadConfig &cfg)
     fillPointerCycle(emu, list, rng);
     fillRandomIndices(emu, words, rng, 48);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildParser(const WorkloadConfig &cfg)
+{
+    return prepareParser(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

@@ -17,11 +17,13 @@
 
 namespace csim {
 
-Trace
-buildPerl(const WorkloadConfig &cfg)
+PreparedWorkload
+preparePerl(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x7065726cull + 41);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     const ArrayRegion bytecode{0x100000, 4096};
@@ -99,7 +101,8 @@ buildPerl(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(2), static_cast<std::int64_t>(bytecode.base));
     emu.setReg(r(3), 64);                   // stack depth cursor
     emu.setReg(r(4), static_cast<std::int64_t>(bytecode.words - 1));
@@ -125,7 +128,13 @@ buildPerl(const WorkloadConfig &cfg)
     fillRandomIndices(emu, scalars, rng, 256);
     fillRandomIndices(emu, stack, rng, 256);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildPerl(const WorkloadConfig &cfg)
+{
+    return preparePerl(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

@@ -18,11 +18,13 @@
 
 namespace csim {
 
-Trace
-buildTwolf(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareTwolf(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x74776f6cull + 43);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     const ArrayRegion cells{0x100000, 2048};
@@ -72,7 +74,8 @@ buildTwolf(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(2), static_cast<std::int64_t>(cells.base));
     emu.setReg(r(3), static_cast<std::int64_t>(nets.base));
     emu.setReg(r(4), static_cast<std::int64_t>(cells.words - 1));
@@ -82,7 +85,13 @@ buildTwolf(const WorkloadConfig &cfg)
     fillRandom(emu, cells, rng, 0, 2047);
     fillRandom(emu, nets, rng, 0, 2047);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildTwolf(const WorkloadConfig &cfg)
+{
+    return prepareTwolf(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

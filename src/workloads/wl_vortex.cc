@@ -18,11 +18,13 @@
 
 namespace csim {
 
-Trace
-buildVortex(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareVortex(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x766f7274ull + 47);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     // Objects of 8 fields; 256 objects = 16KB (mostly L1 resident).
@@ -65,7 +67,8 @@ buildVortex(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(2), static_cast<std::int64_t>(objects.base));
     emu.setReg(r(4), 255);
     emu.setReg(r(5), 6);
@@ -74,7 +77,13 @@ buildVortex(const WorkloadConfig &cfg)
 
     fillRandom(emu, objects, rng, 1, 1 << 16);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildVortex(const WorkloadConfig &cfg)
+{
+    return prepareVortex(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

@@ -21,11 +21,13 @@
 
 namespace csim {
 
-Trace
-buildVpr(const WorkloadConfig &cfg)
+PreparedWorkload
+prepareVpr(const WorkloadConfig &cfg)
 {
     Rng rng(cfg.seed * 0x76707221ull + 7);
-    Program p;
+    PreparedWorkload w;
+    w.program = std::make_unique<Program>();
+    Program &p = *w.program;
     const auto r = Program::r;
 
     const ArrayRegion heap{0x100000, 2048};
@@ -72,7 +74,8 @@ buildVpr(const WorkloadConfig &cfg)
     p.halt();
     p.finalize();
 
-    Emulator emu(p);
+    w.emulator = std::make_unique<Emulator>(p);
+    Emulator &emu = *w.emulator;
     emu.setReg(r(1), 0);
     emu.setReg(r(2), static_cast<std::int64_t>(heap.base));
     emu.setReg(r(3), static_cast<std::int64_t>(cost.base));
@@ -85,7 +88,13 @@ buildVpr(const WorkloadConfig &cfg)
     fillRandom(emu, heap, rng, 0, 1000);
     fillRandom(emu, cost, rng, 0, 1 << 20);
 
-    return emu.run(cfg.targetInstructions);
+    return w;
+}
+
+Trace
+buildVpr(const WorkloadConfig &cfg)
+{
+    return prepareVpr(cfg).emulator->run(cfg.targetInstructions);
 }
 
 } // namespace csim

@@ -15,7 +15,10 @@
 #define CSIM_WORKLOADS_WORKLOAD_HH
 
 #include <cstdint>
+#include <memory>
 
+#include "emu/emulator.hh"
+#include "isa/program.hh"
 #include "trace/trace.hh"
 
 namespace csim {
@@ -30,7 +33,23 @@ struct WorkloadConfig
 
 using WorkloadBuilder = Trace (*)(const WorkloadConfig &);
 
-// One builder per SPECint 2000 benchmark proxy.
+/**
+ * A workload paused at its entry point: program built, memory and
+ * registers seeded, nothing executed yet. The streaming trace build
+ * pulls the dynamic stream from here in bounded chunks
+ * (Emulator::runChunk) instead of materializing it in one run() —
+ * each buildX() is exactly prepareX() followed by a full run.
+ */
+struct PreparedWorkload
+{
+    std::unique_ptr<Program> program;
+    /** References *program; keep both together. */
+    std::unique_ptr<Emulator> emulator;
+};
+
+using WorkloadPreparer = PreparedWorkload (*)(const WorkloadConfig &);
+
+// One builder (and its paused prepare form) per SPECint 2000 proxy.
 Trace buildBzip2(const WorkloadConfig &cfg);
 Trace buildCrafty(const WorkloadConfig &cfg);
 Trace buildEon(const WorkloadConfig &cfg);
@@ -43,6 +62,19 @@ Trace buildPerl(const WorkloadConfig &cfg);
 Trace buildTwolf(const WorkloadConfig &cfg);
 Trace buildVortex(const WorkloadConfig &cfg);
 Trace buildVpr(const WorkloadConfig &cfg);
+
+PreparedWorkload prepareBzip2(const WorkloadConfig &cfg);
+PreparedWorkload prepareCrafty(const WorkloadConfig &cfg);
+PreparedWorkload prepareEon(const WorkloadConfig &cfg);
+PreparedWorkload prepareGap(const WorkloadConfig &cfg);
+PreparedWorkload prepareGcc(const WorkloadConfig &cfg);
+PreparedWorkload prepareGzip(const WorkloadConfig &cfg);
+PreparedWorkload prepareMcf(const WorkloadConfig &cfg);
+PreparedWorkload prepareParser(const WorkloadConfig &cfg);
+PreparedWorkload preparePerl(const WorkloadConfig &cfg);
+PreparedWorkload prepareTwolf(const WorkloadConfig &cfg);
+PreparedWorkload prepareVortex(const WorkloadConfig &cfg);
+PreparedWorkload prepareVpr(const WorkloadConfig &cfg);
 
 } // namespace csim
 

@@ -388,7 +388,7 @@ TEST(JsonReport, SchemaV3IntervalsRoundTrip)
     const std::string json = ss.str();
     std::remove(path.c_str());
 
-    EXPECT_NE(json.find("\"schemaVersion\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\":5"), std::string::npos);
     EXPECT_NE(json.find("\"intervals\":{"), std::string::npos);
     EXPECT_NE(json.find("\"intervalCycles\":500"), std::string::npos);
     EXPECT_NE(json.find("\"mergeCount\":1"), std::string::npos);

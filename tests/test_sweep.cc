@@ -108,6 +108,63 @@ TEST(TraceCache, EvictsLruByByteBudget)
     EXPECT_EQ(cache.hits(), 0u);
 }
 
+TEST(TraceCache, SpillsEvictionsAndRehydratesByMmap)
+{
+    // Size the budget to exactly one trace so the second insert
+    // evicts (and, with a spill dir, spills) the first.
+    TraceCache probe;
+    (void)probe.get("gzip", smallWorkload(1));
+    const std::size_t one = probe.bytesHeld();
+    ASSERT_GT(one, 0u);
+
+    const std::string dir = ::testing::TempDir();
+    TraceCache cache(one, dir);
+    auto a = cache.get("gzip", smallWorkload(1));
+    auto b = cache.get("gzip", smallWorkload(2));
+    {
+        const StatsSnapshot snap = cache.statsSnapshot();
+        EXPECT_EQ(snap.value("traceCache.evictions"), 1.0);
+        EXPECT_EQ(snap.value("traceCache.spill.writes"), 1.0);
+        EXPECT_GT(snap.value("traceCache.spill.bytes"), 0.0);
+        EXPECT_EQ(snap.value("traceCache.mmap.loads"), 0.0);
+    }
+
+    // A miss on the spilled key re-mmaps the store file instead of
+    // re-running the build pipeline, and the rehydrated trace is
+    // bit-identical to a fresh build.
+    auto a2 = cache.get("gzip", smallWorkload(1));
+    {
+        const StatsSnapshot snap = cache.statsSnapshot();
+        EXPECT_EQ(snap.value("traceCache.builds"), 2.0);
+        EXPECT_EQ(snap.value("traceCache.mmap.loads"), 1.0);
+        EXPECT_GT(snap.value("traceCache.mmap.bytes"), 0.0);
+    }
+    const Trace fresh = buildAnnotatedTrace("gzip", smallWorkload(1));
+    ASSERT_EQ(a2->size(), fresh.size());
+    for (std::uint64_t i = 0; i < fresh.size(); ++i) {
+        ASSERT_EQ((*a2)[i].pc, fresh[i].pc) << i;
+        ASSERT_EQ((*a2)[i].prod, fresh[i].prod) << i;
+        ASSERT_EQ((*a2)[i].mispredicted, fresh[i].mispredicted) << i;
+        ASSERT_EQ((*a2)[i].l1Miss, fresh[i].l1Miss) << i;
+    }
+}
+
+TEST(TraceCache, NoSpillDirMeansPlainEviction)
+{
+    TraceCache probe;
+    (void)probe.get("gzip", smallWorkload(1));
+    const std::size_t one = probe.bytesHeld();
+
+    TraceCache cache(one);  // no spill dir
+    (void)cache.get("gzip", smallWorkload(1));
+    (void)cache.get("gzip", smallWorkload(2));
+    (void)cache.get("gzip", smallWorkload(1));  // full rebuild
+    const StatsSnapshot snap = cache.statsSnapshot();
+    EXPECT_EQ(snap.value("traceCache.builds"), 3.0);
+    EXPECT_EQ(snap.value("traceCache.spill.writes"), 0.0);
+    EXPECT_EQ(snap.value("traceCache.mmap.loads"), 0.0);
+}
+
 TEST(TraceCache, UnlimitedCapacityNeverEvicts)
 {
     TraceCache cache;  // capacity 0 = unlimited
@@ -235,6 +292,20 @@ expectResultsEqual(const AggregateResult &a, const AggregateResult &b)
     expectSnapshotsEqual(a.stats, b.stats);
 }
 
+void
+expectPhasesEqual(const std::vector<PhaseResult> &a,
+                  const std::vector<PhaseResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].isWarmup, b[i].isWarmup);
+        EXPECT_EQ(a[i].instructions, b[i].instructions);
+        EXPECT_EQ(a[i].cycles, b[i].cycles);
+        expectSnapshotsEqual(a[i].stats, b[i].stats);
+    }
+}
+
 SweepSpec
 mixedSpec()
 {
@@ -271,6 +342,42 @@ TEST(SweepRunner, ParallelMatchesSequentialBitForBit)
     ASSERT_EQ(b.results.size(), spec.cells.size());
     for (std::size_t i = 0; i < a.results.size(); ++i)
         expectResultsEqual(a.results[i], b.results[i]);
+}
+
+TEST(SweepRunner, RegionSampledRunsAreThreadCountInvariant)
+{
+    // Region-sampled cells must merge region (and seed) results in a
+    // fixed order, so a parallel sweep reproduces the sequential one
+    // bit for bit — including the merged phase reports.
+    SweepSpec spec;
+    spec.cfg = smallConfig();
+    spec.cfg.instructions = 8000;
+    spec.cfg.regions = 3;
+    spec.cfg.regionLen = 400;
+    spec.cfg.regionWarmup = 150;
+    spec.addTiming("gzip", MachineConfig::clustered(4),
+                   PolicyKind::Focused);
+    spec.addTiming("mcf", MachineConfig::monolithic(),
+                   PolicyKind::ModN);
+
+    SweepRunner seq(1);
+    SweepRunner par(4);
+    const SweepOutcome a = seq.run(spec);
+    const SweepOutcome b = par.run(spec);
+    ASSERT_EQ(a.results.size(), spec.cells.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        expectResultsEqual(a.results[i], b.results[i]);
+        expectPhasesEqual(a.results[i].phases, b.results[i].phases);
+        // Two seeds x three regions of like-named phases fold into
+        // exactly one warmup and one measure entry.
+        ASSERT_EQ(a.results[i].phases.size(), 2u);
+        EXPECT_EQ(a.results[i].phases[0].name, "warmup");
+        EXPECT_EQ(a.results[i].phases[1].name, "measure");
+        EXPECT_EQ(a.results[i].phases[1].instructions,
+                  a.results[i].instructions);
+        EXPECT_EQ(a.results[i].phases[0].instructions,
+                  2u * 3u * 150u);
+    }
 }
 
 TEST(SweepRunner, MatchesLegacySequentialAggregates)

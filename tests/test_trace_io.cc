@@ -13,6 +13,8 @@
 #include "policy/scheduling.hh"
 #include "policy/steering.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_soa.hh"
+#include "trace/trace_store.hh"
 #include "workloads/registry.hh"
 
 namespace csim {
@@ -122,6 +124,112 @@ TEST(TraceIo, StatusNames)
     EXPECT_STREQ(traceIoStatusName(TraceIoStatus::Ok), "ok");
     EXPECT_STREQ(traceIoStatusName(TraceIoStatus::BadVersion),
                  "bad version");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::BadEndianness),
+                 "bad endianness");
+}
+
+// --- Cross-format rejection: each loader must cleanly refuse the
+// --- other format's files rather than misreading them.
+
+TEST(TraceIoV2, V1FileRejectedAsBadVersion)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 100;
+    cfg.seed = 1;
+    Trace original = buildAnnotatedTrace("vpr", cfg);
+    const std::string path = tempPath("v1tov2");
+    ASSERT_TRUE(saveTrace(original, path));
+
+    // A v1 file handed to the v2 loader shares the "csimtrc" prefix,
+    // so the mismatch is reported as a version problem, not garbage.
+    TraceSoA soa;
+    EXPECT_EQ(loadTraceStore(soa, path), TraceIoStatus::BadVersion);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, V2FileRejectedByV1Loader)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 100;
+    cfg.seed = 1;
+    Trace original = buildAnnotatedTrace("vpr", cfg);
+    const std::string path = tempPath("v2tov1");
+    ASSERT_TRUE(saveTraceStore(original, path));
+
+    Trace t;
+    EXPECT_EQ(loadTrace(t, path), TraceIoStatus::BadMagic);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, GarbageRejectedAsBadMagic)
+{
+    const std::string path = tempPath("v2badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 64; ++i)
+        std::fputs("definitely not a columnar store ", f);
+    std::fclose(f);
+
+    TraceSoA soa;
+    EXPECT_EQ(loadTraceStore(soa, path), TraceIoStatus::BadMagic);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, MissingFile)
+{
+    TraceSoA soa;
+    EXPECT_EQ(loadTraceStore(soa, "/nonexistent/dir/x.trc2"),
+              TraceIoStatus::CannotOpen);
+}
+
+TEST(TraceIoV2, TruncationDetected)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 400;
+    cfg.seed = 2;
+    Trace original = buildAnnotatedTrace("vpr", cfg);
+    const std::string path = tempPath("v2trunc");
+    ASSERT_TRUE(saveTraceStore(original, path));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+
+    // Chop mid-column: the header promises more data than the file
+    // holds.
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    TraceSoA soa;
+    EXPECT_EQ(loadTraceStore(soa, path), TraceIoStatus::Truncated);
+
+    // Chop mid-header too.
+    ASSERT_EQ(truncate(path.c_str(), 16), 0);
+    EXPECT_EQ(loadTraceStore(soa, path), TraceIoStatus::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, CompressedTruncationDetected)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 400;
+    cfg.seed = 2;
+    Trace original = buildAnnotatedTrace("vpr", cfg);
+    const std::string path = tempPath("v2ztrunc");
+    TraceStoreOptions opts;
+    opts.compressWide = true;
+    ASSERT_TRUE(saveTraceStore(original, path, opts));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    TraceSoA soa;
+    EXPECT_EQ(loadTraceStore(soa, path), TraceIoStatus::Truncated);
+    std::remove(path.c_str());
 }
 
 TEST(TraceIo, LoadedTraceSimulatesIdentically)

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the columnar v2 trace store: round-trip fidelity (raw and
+ * compressed), streaming-writer equivalence, region extraction, the
+ * column-view simulation path, phased runs, and region-sampling
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/timing_sim.hh"
+#include "harness/experiment.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "trace/trace_soa.hh"
+#include "trace/trace_store.hh"
+#include "workloads/registry.hh"
+
+namespace csim {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/csim_" + tag +
+        ".trc2";
+}
+
+Trace
+smallTrace(const char *workload = "bzip2",
+           std::uint64_t instructions = 4000, std::uint64_t seed = 5)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = instructions;
+    cfg.seed = seed;
+    return buildAnnotatedTrace(workload, cfg);
+}
+
+void
+expectRecordsEqual(const TraceRecord &a, const TraceRecord &b)
+{
+    EXPECT_EQ(a.pc, b.pc);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.cls, b.cls);
+    EXPECT_EQ(a.dest, b.dest);
+    EXPECT_EQ(a.src1, b.src1);
+    EXPECT_EQ(a.src2, b.src2);
+    EXPECT_EQ(a.memAddr, b.memAddr);
+    EXPECT_EQ(a.execLat, b.execLat);
+    EXPECT_EQ(a.prod, b.prod);
+    EXPECT_EQ(a.isBranch, b.isBranch);
+    EXPECT_EQ(a.isCondBranch, b.isCondBranch);
+    EXPECT_EQ(a.taken, b.taken);
+    EXPECT_EQ(a.mispredicted, b.mispredicted);
+    EXPECT_EQ(a.l1Miss, b.l1Miss);
+}
+
+void
+expectViewMatchesTrace(const TraceSoA &soa, const Trace &original)
+{
+    ASSERT_EQ(soa.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectRecordsEqual(soa.record(i), original[i]);
+    }
+}
+
+TEST(TraceStore, RoundTripPreservesEverything)
+{
+    const Trace original = smallTrace();
+    const std::string path = tempPath("roundtrip");
+    ASSERT_TRUE(saveTraceStore(original, path));
+
+    TraceSoA soa;
+    TraceStoreInfo info;
+    ASSERT_EQ(loadTraceStore(soa, path, &info), TraceIoStatus::Ok);
+    expectViewMatchesTrace(soa, original);
+    EXPECT_EQ(info.instructions, original.size());
+    EXPECT_FALSE(info.compressed);
+    // Uncompressed loads are zero-copy: the whole file stays mapped.
+    EXPECT_EQ(info.mappedBytes, info.fileBytes);
+    EXPECT_EQ(soa.producerLinks(),
+              TraceSoA(original).producerLinks());
+    std::remove(path.c_str());
+}
+
+TEST(TraceStore, CompressedRoundTripPreservesEverything)
+{
+    const Trace original = smallTrace();
+    const std::string raw_path = tempPath("zraw");
+    const std::string z_path = tempPath("zcomp");
+    ASSERT_TRUE(saveTraceStore(original, raw_path));
+    TraceStoreOptions opts;
+    opts.compressWide = true;
+    ASSERT_TRUE(saveTraceStore(original, z_path, opts));
+
+    TraceSoA raw, z;
+    TraceStoreInfo raw_info, z_info;
+    ASSERT_EQ(loadTraceStore(raw, raw_path, &raw_info),
+              TraceIoStatus::Ok);
+    ASSERT_EQ(loadTraceStore(z, z_path, &z_info), TraceIoStatus::Ok);
+    expectViewMatchesTrace(z, original);
+    EXPECT_TRUE(z_info.compressed);
+    // Compressed stores decode into an owned arena, nothing mapped.
+    EXPECT_EQ(z_info.mappedBytes, 0u);
+    // The wide columns (pc deltas, sentinel-heavy producer links)
+    // are what LEB128 targets; the file must actually shrink.
+    EXPECT_LT(z_info.fileBytes, raw_info.fileBytes);
+    std::remove(raw_path.c_str());
+    std::remove(z_path.c_str());
+}
+
+TEST(TraceStore, EmptyTraceRoundTrips)
+{
+    const Trace empty;
+    const std::string path = tempPath("empty");
+    ASSERT_TRUE(saveTraceStore(empty, path));
+    TraceSoA soa;
+    ASSERT_EQ(loadTraceStore(soa, path), TraceIoStatus::Ok);
+    EXPECT_EQ(soa.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStore, StreamingWriterMatchesMonolithicSave)
+{
+    const Trace original = smallTrace();
+    const std::string whole_path = tempPath("whole");
+    const std::string chunked_path = tempPath("chunked");
+    ASSERT_TRUE(saveTraceStore(original, whole_path));
+
+    // Append in uneven chunks; producer links are already global in
+    // the source trace, so chunk records pass through unchanged.
+    TraceStoreWriter writer(chunked_path, original.size());
+    ASSERT_TRUE(writer.ok());
+    const std::size_t chunk_len = 613;
+    for (std::size_t base = 0; base < original.size();
+         base += chunk_len) {
+        Trace chunk;
+        for (std::size_t i = base;
+             i < std::min(base + chunk_len, original.size()); ++i)
+            chunk.append(original[i]);
+        ASSERT_TRUE(writer.append(chunk));
+    }
+    ASSERT_TRUE(writer.finalize());
+    EXPECT_EQ(writer.written(), original.size());
+
+    // Same capacity, same layout: the files must be byte-identical.
+    std::FILE *fa = std::fopen(whole_path.c_str(), "rb");
+    std::FILE *fb = std::fopen(chunked_path.c_str(), "rb");
+    ASSERT_NE(fa, nullptr);
+    ASSERT_NE(fb, nullptr);
+    int ca, cb;
+    std::uint64_t offset = 0;
+    do {
+        ca = std::fgetc(fa);
+        cb = std::fgetc(fb);
+        ASSERT_EQ(ca, cb) << "files diverge at byte " << offset;
+        ++offset;
+    } while (ca != EOF);
+    std::fclose(fa);
+    std::fclose(fb);
+    std::remove(whole_path.c_str());
+    std::remove(chunked_path.c_str());
+}
+
+TEST(TraceStore, WriterRejectsCapacityOverflow)
+{
+    const Trace original = smallTrace("vpr", 100, 1);
+    const std::string path = tempPath("overflow");
+    TraceStoreWriter writer(path, original.size() - 1);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_FALSE(writer.append(original));
+    EXPECT_FALSE(writer.ok());
+    EXPECT_FALSE(writer.finalize());
+    std::remove(path.c_str());
+}
+
+TEST(TraceStore, WriterUnderfillLoadsWrittenPrefix)
+{
+    const Trace original = smallTrace("vpr", 200, 3);
+    const std::string path = tempPath("underfill");
+    // Declare twice the capacity actually used (the streaming builder
+    // does this whenever emulation halts early).
+    TraceStoreWriter writer(path, original.size() * 2);
+    ASSERT_TRUE(writer.append(original));
+    ASSERT_TRUE(writer.finalize());
+
+    TraceSoA soa;
+    TraceStoreInfo info;
+    ASSERT_EQ(loadTraceStore(soa, path, &info), TraceIoStatus::Ok);
+    expectViewMatchesTrace(soa, original);
+    EXPECT_EQ(info.instructions, original.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceStore, BuildTraceStoreFileMatchesMonolithicBuild)
+{
+    WorkloadConfig cfg;
+    cfg.targetInstructions = 4000;
+    cfg.seed = 9;
+    const Trace reference = buildAnnotatedTrace("gzip", cfg);
+
+    // A chunk far below the target forces many emulate/link/annotate
+    // hand-offs; the carried pass state must make them seamless.
+    const std::string path = tempPath("streambuild");
+    const TraceStoreBuildResult built =
+        buildTraceStoreFile("gzip", cfg, path, 512);
+    ASSERT_TRUE(built.ok);
+    EXPECT_EQ(built.instructions, reference.size());
+
+    TraceSoA soa;
+    ASSERT_EQ(loadTraceStore(soa, path), TraceIoStatus::Ok);
+    expectViewMatchesTrace(soa, reference);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStore, ExtractRegionRebasesProducerLinks)
+{
+    const Trace original = smallTrace("twolf", 2000, 4);
+    const TraceSoA soa(original);
+
+    const std::uint64_t base = 700;
+    const std::uint64_t len = 500;
+    const Trace region = extractRegion(soa, base, len);
+    ASSERT_EQ(region.size(), len);
+    EXPECT_TRUE(region.wellFormed());
+
+    for (std::uint64_t i = 0; i < len; ++i) {
+        SCOPED_TRACE(i);
+        const TraceRecord &src = original[base + i];
+        const TraceRecord &dst = region[i];
+        EXPECT_EQ(dst.pc, src.pc);
+        EXPECT_EQ(dst.cls, src.cls);
+        EXPECT_EQ(dst.execLat, src.execLat);
+        for (int slot = 0; slot < numSrcSlots; ++slot) {
+            const InstId p = src.prod[slot];
+            if (p == invalidInstId || p < base)
+                EXPECT_EQ(dst.prod[slot], invalidInstId);
+            else
+                EXPECT_EQ(dst.prod[slot], p - base);
+        }
+    }
+}
+
+TEST(TraceStore, ExtractRegionClampsAtTraceEnd)
+{
+    const Trace original = smallTrace("vpr", 300, 2);
+    const TraceSoA soa(original);
+    const Trace tail = extractRegion(soa, original.size() - 50,
+                                     1000000);
+    EXPECT_EQ(tail.size(), 50u);
+    EXPECT_TRUE(tail.wellFormed());
+    const Trace whole = extractRegion(soa, 0, soa.size());
+    EXPECT_EQ(whole.size(), original.size());
+}
+
+TEST(TraceStore, ColumnViewSimulatesIdentically)
+{
+    const Trace original = smallTrace("twolf", 6000, 8);
+    const std::string path = tempPath("viewsim");
+    ASSERT_TRUE(saveTraceStore(original, path));
+    TraceSoA soa;
+    ASSERT_EQ(loadTraceStore(soa, path), TraceIoStatus::Ok);
+
+    UnifiedSteering s1(UnifiedSteeringOptions{}, nullptr, nullptr);
+    UnifiedSteering s2(UnifiedSteeringOptions{}, nullptr, nullptr);
+    AgeScheduling age;
+    const MachineConfig mc = MachineConfig::clustered(4);
+    const SimResult a = TimingSim(mc, original, s1, age).run();
+    // The mmap-backed view has no AoS trace behind it at all:
+    // record() reassembles rows from the mapped columns on demand.
+    const SimResult b = TimingSim(mc, soa, s2, age).run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.globalValues, b.globalValues);
+    EXPECT_EQ(a.steerStallCycles, b.steerStallCycles);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- //
+// Phases
+
+TEST(TraceStorePhases, SinglePhaseMatchesUnphasedRun)
+{
+    const Trace trace = smallTrace("gzip", 3000, 2);
+    const MachineConfig mc = MachineConfig::clustered(4);
+    AgeScheduling age;
+
+    UnifiedSteering s1(UnifiedSteeringOptions{}, nullptr, nullptr);
+    const SimResult plain = TimingSim(mc, trace, s1, age).run();
+
+    SimOptions opt;
+    opt.phases = {PhaseSpec{"all", 0, false}};
+    UnifiedSteering s2(UnifiedSteeringOptions{}, nullptr, nullptr);
+    const SimResult phased =
+        TimingSim(mc, trace, s2, age, nullptr, opt).run();
+
+    EXPECT_EQ(phased.cycles, plain.cycles);
+    EXPECT_EQ(phased.instructions, plain.instructions);
+    EXPECT_EQ(phased.globalValues, plain.globalValues);
+    ASSERT_EQ(phased.phases.size(), 1u);
+    EXPECT_EQ(phased.phases[0].name, "all");
+    EXPECT_EQ(phased.phases[0].instructions, plain.instructions);
+}
+
+TEST(TraceStorePhases, WarmupPhaseIsExcludedFromTotals)
+{
+    const Trace trace = smallTrace("gzip", 3000, 2);
+    const MachineConfig mc = MachineConfig::clustered(4);
+    AgeScheduling age;
+
+    SimOptions opt;
+    opt.phases = {PhaseSpec{"warmup", 1000, true},
+                  PhaseSpec{"measure", 0, false}};
+    UnifiedSteering st(UnifiedSteeringOptions{}, nullptr, nullptr);
+    const SimResult r =
+        TimingSim(mc, trace, st, age, nullptr, opt).run();
+
+    ASSERT_EQ(r.phases.size(), 2u);
+    EXPECT_EQ(r.phases[0].instructions, 1000u);
+    EXPECT_TRUE(r.phases[0].isWarmup);
+    EXPECT_EQ(r.phases[1].instructions, trace.size() - 1000);
+    EXPECT_FALSE(r.phases[1].isWarmup);
+
+    // Top-level totals cover measured phases only; phase boundaries
+    // reset stats, not microarchitectural state, so the phase spans
+    // tile the run exactly.
+    EXPECT_EQ(r.instructions, trace.size() - 1000);
+    EXPECT_EQ(r.cycles,
+              r.phases[1].cycles);
+    ASSERT_GT(r.phases[0].cycles, 0u);
+
+    // An unphased run over the same trace commits the same stream;
+    // the phased run's spans must sum to its full length.
+    UnifiedSteering s2(UnifiedSteeringOptions{}, nullptr, nullptr);
+    const SimResult plain = TimingSim(mc, trace, s2, age).run();
+    EXPECT_EQ(r.phases[0].cycles + r.phases[1].cycles, plain.cycles);
+    EXPECT_EQ(r.phases[0].instructions + r.phases[1].instructions,
+              plain.instructions);
+}
+
+// ---------------------------------------------------------------- //
+// Region sampling
+
+TEST(TraceStoreRegions, RegionSampledCellIsDeterministic)
+{
+    const Trace trace = smallTrace("gzip", 8000, 3);
+    const TraceSoA soa(trace);
+
+    ExperimentConfig cfg;
+    cfg.instructions = trace.size();
+    cfg.regions = 4;
+    cfg.regionLen = 600;
+    cfg.regionWarmup = 200;
+    const MachineConfig mc = MachineConfig::clustered(4);
+
+    const AggregateResult a =
+        runRegionSampledCell(soa, mc, PolicyKind::Focused, cfg);
+    const AggregateResult b =
+        runRegionSampledCell(soa, mc, PolicyKind::Focused, cfg);
+
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    // Regions merge like-named phases elementwise: warmup + measure.
+    ASSERT_EQ(a.phases.size(), 2u);
+    EXPECT_EQ(a.phases[0].name, "warmup");
+    EXPECT_TRUE(a.phases[0].isWarmup);
+    EXPECT_EQ(a.phases[1].name, "measure");
+    EXPECT_EQ(a.phases[0].instructions, 4 * 200u);
+    EXPECT_EQ(a.phases[1].instructions, 4 * 600u);
+    // The aggregate's measured totals are the measure phase's.
+    EXPECT_EQ(a.instructions, a.phases[1].instructions);
+    ASSERT_EQ(b.phases.size(), 2u);
+    EXPECT_EQ(a.phases[1].cycles, b.phases[1].cycles);
+}
+
+TEST(TraceStoreRegions, SampledSubsetIsCheaperThanFullRun)
+{
+    const Trace trace = smallTrace("gzip", 8000, 3);
+    const TraceSoA soa(trace);
+    ExperimentConfig cfg;
+    cfg.instructions = trace.size();
+    cfg.regions = 2;
+    cfg.regionLen = 500;
+    cfg.regionWarmup = 100;
+    const AggregateResult sampled = runRegionSampledCell(
+        soa, MachineConfig::clustered(4), PolicyKind::Focused, cfg);
+    EXPECT_EQ(sampled.instructions, 2 * 500u);
+    EXPECT_LT(sampled.instructions, trace.size());
+    EXPECT_GT(sampled.cpi(), 0.0);
+}
+
+} // anonymous namespace
+} // namespace csim

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a bench binary's --json report (schema versions 1-4).
+"""Validate a bench binary's --json report (schema versions 1-5).
 
 Usage: check_bench_json.py [--min-stats N] [--require-host]
                            report.json [report2.json ...]
@@ -7,17 +7,25 @@ Usage: check_bench_json.py [--min-stats N] [--require-host]
 Schema (see src/harness/json_report.hh and README "Observability"):
 
   {
-    "schemaVersion": 4,
+    "schemaVersion": 5,
     "benchmark": "<name>",
     "threads": <int >= 1>,          # v2+
     "wallSeconds": <number >= 0>,   # v2+
     "grids":   [{"title", "columns", "rows", "averages"}, ...],
     "scalars": {"<name>": <number>, ...},
     "runs":    [{"label": str, "stats": {name: num | distribution},
+                 "phases": [...],                # v5, phased runs
                  "intervals": {...},             # v3+, profiled runs
                  "host": {...}}],                # v4, measured runs
     "host":    {...}                             # v4, optional
   }
+
+A run's "phases" list (v5, present on runs with warmup/measure phases
+or region sampling) holds {"name": str, "isWarmup": bool,
+"instructions": uint, "cycles": uint, "cpi": number} records; warmup
+entries are excluded from the run's top-level totals. The v5 top-level
+host block also carries "measuredInstructions" — the instruction count
+its "hostMips" divides, pruned of warmup and trace-build subtrees.
 
 A distribution is {"lo": num, "hi": num, "total": num, "buckets": [ints]}.
 A run's "intervals" object (v3+) is
@@ -138,6 +146,26 @@ def check_intervals(where, iv):
                 check_uint(lane.get(k), f"{rwhere}.clusters[{c}].{k}")
 
 
+def check_phases(where, phases):
+    require(isinstance(phases, list) and phases,
+            f"{where}: must be a non-empty list")
+    for i, p in enumerate(phases):
+        pwhere = f"{where}[{i}]"
+        require(isinstance(p, dict), f"{pwhere}: not an object")
+        require(set(p.keys()) == {"name", "isWarmup", "instructions",
+                                  "cycles", "cpi"},
+                f"{pwhere}: keys {sorted(p.keys())} are not the "
+                f"phase schema")
+        require(isinstance(p["name"], str) and p["name"],
+                f"{pwhere}.name must be a non-empty string")
+        require(isinstance(p["isWarmup"], bool),
+                f"{pwhere}.isWarmup must be a boolean")
+        check_uint(p["instructions"], f"{pwhere}.instructions")
+        check_uint(p["cycles"], f"{pwhere}.cycles")
+        check_number(p["cpi"], f"{pwhere}.cpi")
+        require(p["cpi"] >= 0, f"{pwhere}.cpi must be >= 0")
+
+
 def check_run_host(where, h):
     require(isinstance(h, dict), f"{where}: not an object")
     require(set(h.keys()) == {"wallSeconds", "instructions",
@@ -178,12 +206,15 @@ def check_timer_node(where, node):
             f"{where}: children are not sorted by name")
 
 
-def check_host(where, h):
+def check_host(where, h, version):
     require(isinstance(h, dict), f"{where}: not an object")
     check_number(h.get("wallSeconds"), f"{where}.wallSeconds")
     require(h["wallSeconds"] > 0, f"{where}.wallSeconds must be > 0")
     check_number(h.get("hostMips"), f"{where}.hostMips")
     require(h["hostMips"] > 0, f"{where}.hostMips must be > 0")
+    if version >= 5:
+        check_uint(h.get("measuredInstructions"),
+                   f"{where}.measuredInstructions")
     for k in ("peakRssBytes", "currentRssBytes", "heapBytes",
               "heapHighWaterBytes"):
         check_uint(h.get(k), f"{where}.{k}")
@@ -229,8 +260,8 @@ def check_report(path, min_stats, require_host=False):
 
     require(isinstance(d, dict), "top level is not an object")
     version = d.get("schemaVersion")
-    require(version in (1, 2, 3, 4),
-            f"schemaVersion {version!r} not in (1, 2, 3, 4)")
+    require(version in (1, 2, 3, 4, 5),
+            f"schemaVersion {version!r} not in (1, 2, 3, 4, 5)")
     require(isinstance(d.get("benchmark"), str) and d["benchmark"],
             "benchmark must be a non-empty string")
     if version >= 2:
@@ -260,6 +291,10 @@ def check_report(path, min_stats, require_host=False):
                 f"{len(run['stats'])} stats, expected >= {min_stats}")
         for name, v in run["stats"].items():
             check_stat(name, v)
+        if "phases" in run:
+            require(version >= 5,
+                    f"runs[{i}]: 'phases' requires schemaVersion 5")
+            check_phases(f"runs[{i}].phases", run["phases"])
         if "intervals" in run:
             require(version >= 3,
                     f"runs[{i}]: 'intervals' requires schemaVersion 3")
@@ -271,7 +306,7 @@ def check_report(path, min_stats, require_host=False):
 
     if "host" in d:
         require(version >= 4, "'host' requires schemaVersion 4")
-        check_host("host", d["host"])
+        check_host("host", d["host"], version)
     if require_host:
         require("host" in d, "--require-host: no top-level host block")
         require(any("host" in run for run in d["runs"]),

@@ -28,6 +28,8 @@
  * batch of seeds per push.
  */
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +37,10 @@
 
 #include "common/rng.hh"
 #include "harness/experiment.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "trace/trace_soa.hh"
+#include "trace/trace_store.hh"
 #include "verify/oracle.hh"
 #include "verify/random_trace.hh"
 
@@ -235,6 +241,96 @@ checkSteppingDifferential(const Trace &trace,
     return "";
 }
 
+/** "" when two snapshots agree bit for bit, else the first mismatch. */
+std::string
+compareStats(const char *what, const StatsSnapshot &a,
+             const StatsSnapshot &b)
+{
+    const auto &ae = a.entries();
+    const auto &be = b.entries();
+    if (ae.size() != be.size())
+        return std::string(what) + ": stat counts differ";
+    for (std::size_t i = 0; i < ae.size(); ++i) {
+        if (ae[i].first != be[i].first)
+            return std::string(what) + ": stat order differs at '" +
+                ae[i].first + "'";
+        const StatValue &av = ae[i].second;
+        const StatValue &bv = be[i].second;
+        if (av.value != bv.value || av.buckets != bv.buckets)
+            return std::string(what) + ": stat '" + ae[i].first +
+                "' differs: " + std::to_string(av.value) + " != " +
+                std::to_string(bv.value);
+    }
+    return "";
+}
+
+/**
+ * Round-trip the case's trace through the columnar store (save →
+ * mmap-load → simulate) and check the loaded copy reproduces the
+ * original run byte for byte, both through the rebuilt-AoS pipeline
+ * and straight off the mmap-ed column view. Compression alternates by
+ * seed so both file layouts stay covered.
+ */
+std::string
+checkStoreRoundTrip(const Trace &trace, const MachineConfig &config,
+                    PolicyKind kind, ExperimentConfig cfg,
+                    const PolicyRun &reference, std::uint64_t seed)
+{
+    const std::string path = "/tmp/csim_fuzz_" +
+        std::to_string(::getpid()) + "_" + std::to_string(seed) +
+        ".trc2";
+    TraceStoreOptions sopt;
+    sopt.compressWide = (seed & 1) != 0;
+    if (!saveTraceStore(trace, path, sopt))
+        return "store: save failed";
+    TraceSoA soa;
+    TraceStoreInfo info;
+    const TraceIoStatus st = loadTraceStore(soa, path, &info);
+    std::remove(path.c_str());
+    if (st != TraceIoStatus::Ok)
+        return std::string("store: load failed: ") +
+            traceIoStatusName(st);
+    if (soa.size() != trace.size())
+        return "store: instruction count changed in round trip";
+    if (info.compressed != sopt.compressWide)
+        return "store: compression flag not preserved";
+
+    // Rebuilt-AoS path: identical inputs through the identical
+    // harness must give identical outputs.
+    const Trace rebuilt = extractRegion(soa, 0, soa.size());
+    const PolicyRun replay = runPolicy(rebuilt, config, kind, cfg);
+    if (replay.sim.cycles != reference.sim.cycles)
+        return "store: replay cycles " +
+            std::to_string(replay.sim.cycles) + " != " +
+            std::to_string(reference.sim.cycles);
+    if (replay.sim.instructions != reference.sim.instructions)
+        return "store: replay instruction counts differ";
+    std::string diff = compareStats("store-replay", replay.sim.stats,
+                                    reference.sim.stats);
+    if (!diff.empty())
+        return diff;
+
+    // Column-view path: the sim reading records straight out of the
+    // mapping (no AoS trace behind it) must agree with the same bare
+    // run on the original trace.
+    {
+        ModNSteering steer_aos, steer_soa;
+        AgeScheduling sched_aos, sched_soa;
+        const SimResult aos =
+            TimingSim(config, trace, steer_aos, sched_aos).run();
+        const SimResult cols =
+            TimingSim(config, soa, steer_soa, sched_soa).run();
+        if (aos.cycles != cols.cycles)
+            return "store: column-view cycles " +
+                std::to_string(cols.cycles) + " != " +
+                std::to_string(aos.cycles);
+        diff = compareStats("store-column-view", cols.stats, aos.stats);
+        if (!diff.empty())
+            return diff;
+    }
+    return "";
+}
+
 /** Returns "" on a clean case, else the first failure description. */
 std::string
 runCase(std::uint64_t seed, const FuzzArgs &args)
@@ -292,6 +388,15 @@ runCase(std::uint64_t seed, const FuzzArgs &args)
     if (!step_diff.empty()) {
         describeCase(config, kind, trace.size());
         return step_diff;
+    }
+
+    cfg.verify.checker = true;
+    cfg.verify.panicOnViolation = false;
+    const std::string store_diff =
+        checkStoreRoundTrip(trace, config, kind, cfg, run, seed);
+    if (!store_diff.empty()) {
+        describeCase(config, kind, trace.size());
+        return store_diff;
     }
     return "";
 }

@@ -4,14 +4,18 @@
 Usage: perf_diff.py [--max-regress PCT] [--max-rss-regress PCT]
                     baseline.json current.json
 
-Matches the per-run "host" blocks (schema v4, written by
+Matches the per-run "host" blocks (schema v4+, written by
 bench_throughput) of the two reports by run label and compares
 host-MIPS and peak RSS. A run whose host-MIPS dropped by more than
 --max-regress percent (default 10) relative to the baseline is a
 regression and makes the exit status non-zero; peak-RSS growth beyond
---max-rss-regress percent (default 25) likewise. Runs present in only
-one report are reported but never fatal, so grid changes don't block
-unrelated work.
+--max-rss-regress percent (default 25) likewise. When both reports
+carry a top-level "host" block, its process-wide peakRssBytes is
+compared as an extra "<process>" row under the same RSS threshold —
+the whole-bench memory gate that catches footprint growth outside any
+single measured run (e.g. the trace-build pipeline). Runs present in
+only one report are reported but never fatal, so grid changes don't
+block unrelated work.
 
 CI runs this as a *soft* gate (report-only artifact): host-MIPS on
 shared runners is noisy, so a human reads the table before believing
@@ -27,7 +31,7 @@ import sys
 
 
 def host_runs(path):
-    """Map of run label -> host block for every measured run."""
+    """(label -> run host block, top-level host block or None)."""
     with open(path) as f:
         d = json.load(f)
     if d.get("schemaVersion", 0) < 4:
@@ -40,7 +44,7 @@ def host_runs(path):
             runs[run["label"]] = run["host"]
     if not runs:
         raise SystemExit(f"{path}: no run carries a host block")
-    return runs
+    return runs, d.get("host")
 
 
 def pct_change(base, cur):
@@ -57,8 +61,8 @@ def main():
     ap.add_argument("current")
     args = ap.parse_args()
 
-    base = host_runs(args.baseline)
-    cur = host_runs(args.current)
+    base, base_host = host_runs(args.baseline)
+    cur, cur_host = host_runs(args.current)
 
     width = max(len(label) for label in base | cur)
     print(f"{'run':<{width}}  {'base MIPS':>10} {'cur MIPS':>10} "
@@ -85,6 +89,20 @@ def main():
         if d_rss > args.max_rss_regress:
             failures.append(
                 f"{label}: peak RSS grew {d_rss:.1f}% "
+                f"(limit {args.max_rss_regress:.1f}%)")
+
+    # Whole-process peak RSS: the memory cost of everything the bench
+    # did, including work outside any measured run's window.
+    if base_host and cur_host:
+        mib = 1024.0 * 1024.0
+        d_rss = pct_change(base_host["peakRssBytes"],
+                           cur_host["peakRssBytes"])
+        print(f"{'<process>':<{width}}  {'':>10} {'':>10} {'':>8}  "
+              f"{base_host['peakRssBytes'] / mib:>8.1f}M "
+              f"{cur_host['peakRssBytes'] / mib:>8.1f}M {d_rss:>+8.1f}")
+        if d_rss > args.max_rss_regress:
+            failures.append(
+                f"<process>: peak RSS grew {d_rss:.1f}% "
                 f"(limit {args.max_rss_regress:.1f}%)")
 
     if failures:
