@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Adaptive vs static policy sweep: every workload on the 2- and
+ * 4-cluster machines of the Fig. 5/6 grid, running the three
+ * LoC-bearing static stacks (focused+loc, +stall, +proactive) against
+ * the closed-loop adaptive manager driving the richest stack's knobs
+ * live from its interval CPI stacks. Reports per-cell CPI, the
+ * adaptive-vs-best-static delta, and win counts; all cells run through
+ * the shared sweep runner, so the report stays byte-identical at any
+ * thread count (the determinism CI asserts this with this bench).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "harness/json_report.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+
+using namespace csim;
+
+int
+main(int argc, char **argv)
+{
+    BenchContext ctx("bench_adaptive", argc, argv);
+
+    const PolicyKind statics[] = {
+        PolicyKind::FocusedLoc,
+        PolicyKind::FocusedLocStall,
+        PolicyKind::FocusedLocStallProactive,
+    };
+
+    SweepSpec spec;
+    ctx.apply(spec.cfg);
+    // The adaptive cells force the manager on whatever the command
+    // line said; --adaptive additionally arms it on the "static"
+    // cells, which would make the comparison meaningless, so strip it
+    // from the spec-wide config and keep it cell-local.
+    ExperimentConfig adaptive_cfg = spec.cfg;
+    adaptive_cfg.adaptive.enabled = true;
+    spec.cfg.adaptive.enabled = false;
+
+    struct Cell
+    {
+        std::string workload;
+        std::string machine;
+        std::vector<std::size_t> staticIdx;
+        std::size_t adaptiveIdx;
+    };
+    std::vector<Cell> grid_cells;
+    for (const std::string &wl : workloadNames()) {
+        for (unsigned n : {2u, 4u}) {
+            const MachineConfig mc = MachineConfig::clustered(n);
+            Cell cell;
+            cell.workload = wl;
+            cell.machine = mc.name();
+            for (PolicyKind kind : statics)
+                cell.staticIdx.push_back(
+                    spec.addTiming(wl, mc, kind));
+            SweepCell ac;
+            ac.workload = wl;
+            ac.machine = mc;
+            ac.policy = PolicyKind::FocusedLocStallProactive;
+            ac.cfg = adaptive_cfg;
+            ac.labelSuffix = "+adaptive";
+            cell.adaptiveIdx = spec.add(ac);
+            grid_cells.push_back(std::move(cell));
+        }
+    }
+
+    SweepOutcome outcome = ctx.runner().run(spec);
+    ctx.addSweepRuns(outcome);
+
+    std::printf("=== Adaptive vs static policies (CPI; lower is "
+                "better) ===\n\n");
+
+    FigureGrid grid("adaptive vs static CPI",
+                    {"loc", "stall", "proactive", "adaptive",
+                     "vsBestStatic"});
+    TextTable table({"cell", "loc", "stall", "proactive", "adaptive",
+                     "best.static", "delta%", "winner"});
+    unsigned wins = 0;
+    double best_delta_pct = 0.0;
+    std::string best_cell;
+    for (const Cell &cell : grid_cells) {
+        const std::string row = cell.workload + "/" + cell.machine;
+        double best_static = 0.0;
+        std::vector<double> cpis;
+        for (std::size_t idx : cell.staticIdx) {
+            const double cpi = outcome.at(idx).cpi();
+            cpis.push_back(cpi);
+            if (best_static == 0.0 || cpi < best_static)
+                best_static = cpi;
+        }
+        const double adaptive_cpi = outcome.at(cell.adaptiveIdx).cpi();
+        // Negative: adaptive is faster than every static policy.
+        const double delta_pct = best_static > 0.0
+            ? (adaptive_cpi - best_static) / best_static * 100.0
+            : 0.0;
+        if (adaptive_cpi < best_static)
+            ++wins;
+        if (delta_pct < best_delta_pct) {
+            best_delta_pct = delta_pct;
+            best_cell = row;
+        }
+        grid.set(row, "loc", cpis[0]);
+        grid.set(row, "stall", cpis[1]);
+        grid.set(row, "proactive", cpis[2]);
+        grid.set(row, "adaptive", adaptive_cpi);
+        grid.set(row, "vsBestStatic", delta_pct);
+        table.addRow({row, formatDouble(cpis[0], 3),
+                      formatDouble(cpis[1], 3),
+                      formatDouble(cpis[2], 3),
+                      formatDouble(adaptive_cpi, 3),
+                      formatDouble(best_static, 3),
+                      formatDouble(delta_pct, 2),
+                      adaptive_cpi < best_static ? "adaptive"
+                                                 : "static"});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("adaptive wins %u of %zu cells (best: %s, %+.2f%% vs "
+                "best static)\n",
+                wins, grid_cells.size(),
+                best_cell.empty() ? "none" : best_cell.c_str(),
+                best_delta_pct);
+    std::printf("(adaptive rides the focused+loc+stall+proactive "
+                "stack; its manager retunes the stall threshold, LoC "
+                "cutoff and LB pressure each interval)\n");
+
+    ctx.addGrid(grid);
+    ctx.addScalar("adaptive.wins", wins);
+    ctx.addScalar("adaptive.cells",
+                  static_cast<double>(grid_cells.size()));
+    ctx.addScalar("adaptive.bestDeltaPct", best_delta_pct);
+    return ctx.finish();
+}

@@ -41,6 +41,11 @@ struct PolicyStack
     std::unique_ptr<OnlineCriticalityTrainer> trainer;
     std::unique_ptr<SteeringPolicy> steering;
     std::unique_ptr<SchedulingPolicy> scheduling;
+    /** Concrete-type views of steering/scheduling when the stack uses
+     *  the retunable policies (the adaptive manager's knob surface);
+     *  null for the baselines. */
+    UnifiedSteering *unified = nullptr;
+    LocScheduling *locSched = nullptr;
 };
 
 PolicyStack
@@ -57,17 +62,22 @@ makeStack(const Trace &trace, PolicyKind kind,
         s.steering = std::make_unique<LoadBalanceSteering>();
         s.scheduling = std::make_unique<AgeScheduling>();
         break;
-      case PolicyKind::Dep:
-        s.steering = std::make_unique<UnifiedSteering>(
+      case PolicyKind::Dep: {
+        auto steer = std::make_unique<UnifiedSteering>(
             UnifiedSteeringOptions{}, nullptr, nullptr);
+        s.unified = steer.get();
+        s.steering = std::move(steer);
         s.scheduling = std::make_unique<AgeScheduling>();
         break;
+      }
       case PolicyKind::Focused: {
         s.critPred = std::make_unique<CriticalityPredictor>();
         UnifiedSteeringOptions opt;
         opt.focusOnCritical = true;
-        s.steering = std::make_unique<UnifiedSteering>(
+        auto steer = std::make_unique<UnifiedSteering>(
             opt, s.critPred.get(), nullptr);
+        s.unified = steer.get();
+        s.steering = std::move(steer);
         s.scheduling =
             std::make_unique<CriticalScheduling>(*s.critPred);
         s.trainer = std::make_unique<OnlineCriticalityTrainer>(
@@ -87,9 +97,13 @@ makeStack(const Trace &trace, PolicyKind kind,
         opt.stallThreshold = cfg.stallThreshold;
         opt.proactiveLB =
             kind == PolicyKind::FocusedLocStallProactive;
-        s.steering = std::make_unique<UnifiedSteering>(
+        auto steer = std::make_unique<UnifiedSteering>(
             opt, s.critPred.get(), s.locPred.get());
-        s.scheduling = std::make_unique<LocScheduling>(*s.locPred);
+        s.unified = steer.get();
+        s.steering = std::move(steer);
+        auto sched = std::make_unique<LocScheduling>(*s.locPred);
+        s.locSched = sched.get();
+        s.scheduling = std::move(sched);
         s.trainer = std::make_unique<OnlineCriticalityTrainer>(
             trace, s.critPred.get(), s.locPred.get(), cfg.trainChunk);
         break;
@@ -203,6 +217,24 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
             std::make_unique<IntervalProfiler>(machine, trace, popt);
         sim_options.observers.push_back(profiler.get());
     }
+    std::unique_ptr<AdaptiveManager> adaptive;
+    if (cfg.adaptive.enabled) {
+        AdaptiveManagerOptions aopt;
+        aopt.intervalCycles = cfg.adaptive.intervalCycles;
+        aopt.brain.reactionIntervals = cfg.adaptive.reactionIntervals;
+        aopt.brain.minDwellIntervals = cfg.adaptive.minDwellIntervals;
+        aopt.brain.revertOnRegression = cfg.adaptive.revertOnRegression;
+        aopt.brain.regressionTolerance = cfg.adaptive.regressionTolerance;
+        // Attached to the measured run only: the warmup passes above
+        // must train under the static knobs the measured run starts
+        // from. The baselines expose no knobs — the manager still
+        // attaches (classification stats stay meaningful) but has
+        // nothing to turn.
+        adaptive = std::make_unique<AdaptiveManager>(
+            machine, trace, aopt, stack.unified, stack.locSched,
+            stack.locPred.get());
+        sim_options.observers.push_back(adaptive.get());
+    }
 
     TimingSim sim(machine, trace, *stack.steering, *stack.scheduling,
                   stack.trainer.get(), sim_options);
@@ -215,6 +247,10 @@ runPolicy(const Trace &trace, const MachineConfig &machine,
         if (cfg.profile.scoreCriticality)
             scoreCriticalityPredictions(trace, out.sim, machine,
                                         cfg.trainChunk);
+    }
+    if (adaptive) {
+        out.adaptive = adaptive->summary();
+        out.adaptiveLane = adaptive->lanePoints();
     }
 
     if (checker) {
@@ -254,6 +290,12 @@ AggregateResult::merge(const AggregateResult &other)
     globalValues += other.globalValues;
     stats.merge(other.stats);
     intervals.merge(other.intervals);
+    adaptive.merge(other.adaptive);
+    // Lanes concatenate: each merged run keeps its own decision
+    // timeline, and the fixed merge order keeps the result identical
+    // at any sweep thread count.
+    adaptiveLane.insert(adaptiveLane.end(), other.adaptiveLane.begin(),
+                        other.adaptiveLane.end());
 
     // Like-shaped phase lists (every seed/region runs the same specs)
     // fold elementwise; anything else concatenates, which keeps the
@@ -395,10 +437,37 @@ AggregateResult
 runRegionSampledCell(const TraceSoA &soa, const MachineConfig &machine,
                      PolicyKind kind, const ExperimentConfig &cfg)
 {
-    CSIM_ASSERT(cfg.regionLen > 0);
+    // User-facing configuration errors (these values arrive straight
+    // from --regions/--region-len/--warmup), so reject them with the
+    // same fatal strictness parseThreadCount applies, not an assert.
     const std::uint64_t n = soa.size();
     const std::uint64_t k = cfg.regions;
-    CSIM_ASSERT(k >= 1 && k <= n);
+    if (cfg.regionLen == 0)
+        CSIM_FATAL_F("region sampling: region length must be >= 1 "
+                     "(got %llu)",
+                     static_cast<unsigned long long>(cfg.regionLen));
+    if (k < 1 || k > n)
+        CSIM_FATAL_F("region sampling: region count %llu out of range "
+                     "[1, %llu] for a %llu-instruction store",
+                     static_cast<unsigned long long>(k),
+                     static_cast<unsigned long long>(n),
+                     static_cast<unsigned long long>(n));
+    // Spacing soundness: k regions of span (warmup + len) starting at
+    // multiples of floor(n / k) neither overlap nor run off the end
+    // iff k * span <= n (then span <= floor(n / k) exactly). Anything
+    // larger would silently overlap regions or degenerate the tail,
+    // double-counting instructions in the merged phases.
+    if (cfg.regionWarmup + cfg.regionLen > n / k)
+        CSIM_FATAL_F("region sampling: %llu regions x (%llu warmup + "
+                     "%llu measured) = %llu instructions exceed the "
+                     "%llu-instruction store; shrink --regions, "
+                     "--region-len or --warmup",
+                     static_cast<unsigned long long>(k),
+                     static_cast<unsigned long long>(cfg.regionWarmup),
+                     static_cast<unsigned long long>(cfg.regionLen),
+                     static_cast<unsigned long long>(
+                         k * (cfg.regionWarmup + cfg.regionLen)),
+                     static_cast<unsigned long long>(n));
 
     // The recursive per-region config: sampling off, phases on.
     ExperimentConfig rcfg = cfg;
@@ -456,6 +525,8 @@ runPolicyCell(const Trace &trace, const MachineConfig &machine,
                     run.breakdown, run.sim.globalValues,
                     run.sim.stats);
     agg.intervals = std::move(run.intervals);
+    agg.adaptive = run.adaptive;
+    agg.adaptiveLane = std::move(run.adaptiveLane);
     agg.phases = std::move(run.sim.phases);
     return agg;
 }

@@ -58,6 +58,7 @@ SweepCell::label() const
     out += '/';
     out += mode == CellMode::Timing ? policyName(policy)
                                     : priorityName(priority);
+    out += labelSuffix;
     return out;
 }
 

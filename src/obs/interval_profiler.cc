@@ -94,6 +94,11 @@ IntervalProfiler::IntervalProfiler(const MachineConfig &config,
     : config_(config), trace_(trace), options_(options)
 {
     CSIM_ASSERT(options_.intervalCycles >= 1);
+    // A run over an empty trace returns before any observer hook
+    // fires, so the geometry normally stamped by onRunStart must
+    // already be in place: a series with intervalCycles == 0 trips
+    // the merge asserts and zero-divides downstream normalizers.
+    initSeriesGeometry();
 }
 
 void
@@ -101,9 +106,7 @@ IntervalProfiler::onRunStart(const CoreView &view)
 {
     (void)view;
     series_ = IntervalSeries{};
-    series_.intervalCycles = options_.intervalCycles;
-    series_.clusterIssueWidth = config_.cluster.issueWidth;
-    series_.windowPerCluster = config_.windowPerCluster;
+    initSeriesGeometry();
     cur_ = IntervalRecord{};
     cur_.clusters.resize(config_.numClusters);
     nextCommit_ = 0;
@@ -309,7 +312,16 @@ IntervalProfiler::takeSeries()
 {
     IntervalSeries out = std::move(series_);
     series_ = IntervalSeries{};
+    initSeriesGeometry();
     return out;
+}
+
+void
+IntervalProfiler::initSeriesGeometry()
+{
+    series_.intervalCycles = options_.intervalCycles;
+    series_.clusterIssueWidth = config_.cluster.issueWidth;
+    series_.windowPerCluster = config_.windowPerCluster;
 }
 
 void

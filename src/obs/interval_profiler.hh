@@ -199,6 +199,9 @@ class IntervalProfiler : public SimObserver
 
     void resetCycleState();
 
+    /** Stamp geometry on a fresh series (run or no run). */
+    void initSeriesGeometry();
+
     const MachineConfig config_;
     const Trace &trace_;
     IntervalProfilerOptions options_;

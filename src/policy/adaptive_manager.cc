@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Closed-loop adaptive steering manager implementation.
+ */
+
+#include "policy/adaptive_manager.hh"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace csim {
+
+const char *
+adaptivePhaseName(AdaptivePhase p)
+{
+    switch (p) {
+      case AdaptivePhase::Smooth: return "smooth";
+      case AdaptivePhase::MemoryBound: return "memory";
+      case AdaptivePhase::SteerBound: return "steer";
+      case AdaptivePhase::Imbalanced: return "imbalance";
+      case AdaptivePhase::Contended: return "contention";
+      case AdaptivePhase::NumPhases: break;
+    }
+    CSIM_FATAL("invalid AdaptivePhase");
+}
+
+void
+AdaptiveSummary::merge(const AdaptiveSummary &other)
+{
+    mergeCount += other.mergeCount;
+    intervals += other.intervals;
+    transitions += other.transitions;
+    reverts += other.reverts;
+    for (std::size_t i = 0; i < numAdaptivePhases; ++i)
+        phaseIntervals[i] += other.phaseIntervals[i];
+    stallThresholdSum += other.stallThresholdSum;
+    locLowCutoffSum += other.locLowCutoffSum;
+    pressureSum += other.pressureSum;
+}
+
+// --------------------------------------------------------------------
+// AdaptiveBrain
+// --------------------------------------------------------------------
+
+AdaptiveBrain::AdaptiveBrain(const AdaptiveBrainOptions &options,
+                             const AdaptiveKnobs &initial)
+    : options_(options), defaults_(initial), knobs_(initial),
+      revertKnobs_(initial)
+{
+    // A zero reaction latency would judge a probe over zero intervals
+    // and transition on single-interval noise; clamp to the minimum
+    // meaningful values instead of asserting on user input.
+    options_.reactionIntervals = std::max(1u, options_.reactionIntervals);
+    options_.minDwellIntervals = std::max(1u, options_.minDwellIntervals);
+}
+
+AdaptivePhase
+AdaptiveBrain::classify(const IntervalRecord &rec,
+                        unsigned windowPerCluster)
+{
+    if (rec.cycles == 0)
+        return AdaptivePhase::Smooth;
+
+    const auto comp = [&rec](CpiComponent c) {
+        return rec.components[static_cast<std::size_t>(c)];
+    };
+
+    // Occupancy skew is a leading indicator: the stack only charges
+    // LoadImbalance once denial cycles appear, but a half-window
+    // occupancy gap between clusters means steering is already piling
+    // work up. Promote before the stack test.
+    if (rec.clusters.size() > 1 && windowPerCluster > 0) {
+        std::uint64_t max_occ = 0;
+        std::uint64_t min_occ = std::numeric_limits<std::uint64_t>::max();
+        for (const IntervalClusterLane &lane : rec.clusters) {
+            max_occ = std::max(max_occ, lane.occupancySum);
+            min_occ = std::min(min_occ, lane.occupancySum);
+        }
+        if ((max_occ - min_occ) * 2 >
+            rec.cycles * static_cast<std::uint64_t>(windowPerCluster))
+            return AdaptivePhase::Imbalanced;
+    }
+
+    // Dominant loss component, tie-broken in a fixed order so the
+    // classification (and hence every downstream knob change) is
+    // deterministic. A phase only counts as dominant when its loss
+    // covers more than a quarter of the interval; below that, knob
+    // changes chase noise for marginal gain.
+    const std::uint64_t memory = comp(CpiComponent::Memory);
+    const std::uint64_t steer =
+        comp(CpiComponent::SteerStall) + comp(CpiComponent::Window);
+    const std::uint64_t imbalance = comp(CpiComponent::LoadImbalance);
+    const std::uint64_t contention = comp(CpiComponent::Contention);
+
+    std::uint64_t best = memory;
+    AdaptivePhase best_phase = AdaptivePhase::MemoryBound;
+    if (steer > best) {
+        best = steer;
+        best_phase = AdaptivePhase::SteerBound;
+    }
+    if (imbalance > best) {
+        best = imbalance;
+        best_phase = AdaptivePhase::Imbalanced;
+    }
+    if (contention > best) {
+        best = contention;
+        best_phase = AdaptivePhase::Contended;
+    }
+    if (best * 4 <= rec.cycles)
+        return AdaptivePhase::Smooth;
+    return best_phase;
+}
+
+AdaptiveKnobs
+AdaptiveBrain::knobsFor(AdaptivePhase phase, double critFraction) const
+{
+    AdaptiveKnobs k = defaults_;
+    switch (phase) {
+      case AdaptivePhase::Smooth:
+        break;
+      case AdaptivePhase::MemoryBound:
+        // Stalling the in-order steer stage behind an L1 miss
+        // serializes the whole miss latency: raise the cutoff so only
+        // the most critical chains may stall.
+        k.stallThreshold =
+            std::min(1.0, defaults_.stallThreshold + 0.20);
+        break;
+      case AdaptivePhase::SteerBound:
+        // Steer/window losses dominate: the policy is stalling (or
+        // backing the ROB up) too eagerly — demand more criticality
+        // before a stall is worth a steer slot.
+        k.stallThreshold =
+            std::min(1.0, defaults_.stallThreshold + 0.25);
+        break;
+      case AdaptivePhase::Imbalanced:
+        // Engage proactive pushing at half occupancy instead of 3/4:
+        // spread work before the hot cluster's window saturates.
+        k.pressureNum = 1;
+        k.pressureDen = 2;
+        break;
+      case AdaptivePhase::Contended:
+        // Critical ops are fighting for ports: sharpen scheduling
+        // resolution among likely-critical instructions, stall a bit
+        // more readily to keep chains collocated, and stop pushing
+        // consumers until the producer cluster is nearly full. When
+        // the predictor marks most steers critical it has saturated —
+        // a cutoff of 1 would just reshuffle noise, so keep 2.
+        k.locLowCutoff = critFraction > 0.5 ? 2u : 1u;
+        k.stallThreshold =
+            std::max(0.0, defaults_.stallThreshold - 0.10);
+        k.pressureNum = 7;
+        k.pressureDen = 8;
+        break;
+      case AdaptivePhase::NumPhases:
+        CSIM_FATAL("invalid AdaptivePhase");
+    }
+    return k;
+}
+
+AdaptiveDecision
+AdaptiveBrain::observe(const IntervalRecord &rec,
+                       unsigned windowPerCluster)
+{
+    AdaptiveDecision d;
+    d.startCycle = rec.startCycle;
+    d.cycles = rec.cycles;
+
+    ++dwell_;
+
+    // The interval that just closed ran under the post-transition
+    // knobs; once the probe window spans reactionIntervals of them,
+    // judge the change against the pre-transition CPI.
+    if (probing_) {
+        probeCycles_ += rec.cycles;
+        probeCommits_ += rec.commits;
+        if (dwell_ >= options_.reactionIntervals) {
+            probing_ = false;
+            const double cpi_after = probeCommits_
+                ? static_cast<double>(probeCycles_) / probeCommits_
+                : 0.0;
+            if (options_.revertOnRegression && cpiBefore_ > 0.0 &&
+                cpi_after >
+                    cpiBefore_ * (1.0 + options_.regressionTolerance)) {
+                knobs_ = revertKnobs_;
+                vetoActive_ = true;
+                vetoPhase_ = phase_;
+                d.reverted = true;
+            }
+        }
+    }
+
+    // Candidate streak: a new phase must classify for
+    // reactionIntervals consecutive closes before the machine moves.
+    const AdaptivePhase cls = classify(rec, windowPerCluster);
+    if (cls == phase_) {
+        candidate_ = phase_;
+        candidateStreak_ = 0;
+    } else if (cls == candidate_) {
+        ++candidateStreak_;
+    } else {
+        candidate_ = cls;
+        candidateStreak_ = 1;
+    }
+
+    if (candidate_ != phase_ &&
+        candidateStreak_ >= options_.reactionIntervals &&
+        dwell_ >= options_.minDwellIntervals) {
+        // Record what we are leaving behind so a bad move can be
+        // undone: the trailing interval's CPI is the baseline.
+        cpiBefore_ = lastCommits_
+            ? static_cast<double>(lastCycles_) / lastCommits_
+            : 0.0;
+        const bool vetoed = vetoActive_ && vetoPhase_ == candidate_;
+        vetoActive_ = false;
+        revertKnobs_ = knobs_;
+        phase_ = candidate_;
+        dwell_ = 0;
+        candidateStreak_ = 0;
+        if (!vetoed) {
+            const double crit_fraction = rec.steers
+                ? static_cast<double>(rec.predictedCriticalSteers) /
+                    rec.steers
+                : 0.0;
+            knobs_ = knobsFor(phase_, crit_fraction);
+            probing_ = true;
+            probeCycles_ = 0;
+            probeCommits_ = 0;
+        }
+        d.transitioned = true;
+    }
+
+    lastCycles_ = rec.cycles;
+    lastCommits_ = rec.commits;
+    d.phase = phase_;
+    d.knobs = knobs_;
+    return d;
+}
+
+// --------------------------------------------------------------------
+// AdaptiveManager
+// --------------------------------------------------------------------
+
+namespace {
+
+AdaptiveKnobs
+initialKnobsOf(const UnifiedSteering *steering,
+               const LocScheduling *scheduling)
+{
+    // Seed the machine from the knobs actually in force so the first
+    // decision interval runs the static configuration unchanged (and
+    // Smooth always means "whatever the user configured").
+    AdaptiveKnobs k;
+    if (steering) {
+        k.stallThreshold = steering->stallThreshold();
+        k.pressureNum = steering->pressureNum();
+        k.pressureDen = steering->pressureDen();
+    }
+    if (scheduling)
+        k.locLowCutoff = scheduling->lowCutoff();
+    return k;
+}
+
+} // namespace
+
+AdaptiveManager::AdaptiveManager(const MachineConfig &config,
+                                 const Trace &trace,
+                                 const AdaptiveManagerOptions &options,
+                                 UnifiedSteering *steering,
+                                 LocScheduling *scheduling,
+                                 const LocPredictor *loc_pred)
+    : profiler_(config, trace,
+                IntervalProfilerOptions{options.intervalCycles}),
+      brainOptions_(options.brain),
+      initialKnobs_(initialKnobsOf(steering, scheduling)),
+      brain_(options.brain, initialKnobs_),
+      steering_(steering), scheduling_(scheduling), locPred_(loc_pred)
+{}
+
+void
+AdaptiveManager::onRunStart(const CoreView &view)
+{
+    profiler_.onRunStart(view);
+    // A fresh run replays from a fresh machine: restart the state
+    // machine and restore the static knobs so back-to-back runs over
+    // the same manager stay deterministic.
+    brain_ = AdaptiveBrain(brainOptions_, initialKnobs_);
+    applyKnobs(initialKnobs_);
+    seen_ = 0;
+    sinceTransition_ = 0;
+    decisions_.clear();
+}
+
+void
+AdaptiveManager::onSteer(const CoreView &view, InstId id)
+{
+    profiler_.onSteer(view, id);
+}
+
+void
+AdaptiveManager::onIssue(const CoreView &view, InstId id)
+{
+    profiler_.onIssue(view, id);
+}
+
+void
+AdaptiveManager::onIssueDenied(const CoreView &view, InstId id)
+{
+    profiler_.onIssueDenied(view, id);
+}
+
+void
+AdaptiveManager::onCommit(const CoreView &view, InstId id)
+{
+    profiler_.onCommit(view, id);
+}
+
+void
+AdaptiveManager::onSteerStall(const CoreView &view, SteerStallCause cause)
+{
+    profiler_.onSteerStall(view, cause);
+}
+
+void
+AdaptiveManager::onFetchStall(const CoreView &view)
+{
+    profiler_.onFetchStall(view);
+}
+
+void
+AdaptiveManager::onCycleEnd(const CoreView &view)
+{
+    profiler_.onCycleEnd(view);
+    reactToCloses();
+}
+
+void
+AdaptiveManager::onRunEnd(const CoreView &view)
+{
+    profiler_.onRunEnd(view);
+    reactToCloses();
+}
+
+void
+AdaptiveManager::registerStats(StatsRegistry &registry)
+{
+    // Note: the internal profiler's stats deliberately stay
+    // unregistered — a user-requested --profile profiler on the same
+    // observer chain owns the "profiler.*" namespace.
+    statIntervals_ = &registry.addCounter(
+        "adaptive.intervals", "decision intervals observed");
+    statTransitions_ = &registry.addCounter(
+        "adaptive.transitions", "phase transitions taken");
+    statReverts_ = &registry.addCounter(
+        "adaptive.reverts", "knob changes undone on CPI regression");
+    for (std::size_t i = 0; i < numAdaptivePhases; ++i) {
+        const char *name =
+            adaptivePhaseName(static_cast<AdaptivePhase>(i));
+        statPhase_[i] = &registry.addCounter(
+            std::string("adaptive.phase.") + name,
+            std::string("intervals spent in the ") + name + " phase");
+    }
+    statDwell_ = &registry.addDistribution(
+        "adaptive.dwell", 16, 0.0, 64.0,
+        "intervals dwelt in a phase at each transition");
+    registry.addFormula(
+        "adaptive.knob.stallThreshold",
+        [this] { return brain_.knobs().stallThreshold; },
+        "stall-over-steer LoC cutoff in force at run end");
+    registry.addFormula(
+        "adaptive.knob.locLowCutoff",
+        [this] {
+            return static_cast<double>(brain_.knobs().locLowCutoff);
+        },
+        "LoC scheduling low cutoff in force at run end");
+    registry.addFormula(
+        "adaptive.knob.pressure",
+        [this] { return brain_.knobs().pressure(); },
+        "proactive-LB pressure gate in force at run end");
+}
+
+void
+AdaptiveManager::reactToCloses()
+{
+    const IntervalSeries &series = profiler_.series();
+    while (seen_ < series.records.size()) {
+        const IntervalRecord &rec = series.records[seen_++];
+        AdaptiveDecision d =
+            brain_.observe(rec, series.windowPerCluster);
+        ++sinceTransition_;
+        if (statIntervals_)
+            ++*statIntervals_;
+        if (statPhase_[static_cast<std::size_t>(d.phase)])
+            ++*statPhase_[static_cast<std::size_t>(d.phase)];
+        if (d.transitioned) {
+            if (statTransitions_)
+                ++*statTransitions_;
+            if (statDwell_)
+                statDwell_->add(static_cast<double>(sinceTransition_));
+            sinceTransition_ = 0;
+        }
+        if (d.reverted && statReverts_)
+            ++*statReverts_;
+        applyKnobs(d.knobs);
+        decisions_.push_back(d);
+    }
+}
+
+void
+AdaptiveManager::applyKnobs(const AdaptiveKnobs &knobs)
+{
+    if (steering_) {
+        steering_->setStallThreshold(knobs.stallThreshold);
+        steering_->setProactivePressure(knobs.pressureNum,
+                                        knobs.pressureDen);
+    }
+    if (scheduling_)
+        scheduling_->setLowCutoff(knobs.locLowCutoff);
+}
+
+std::vector<AdaptiveLanePoint>
+AdaptiveManager::lanePoints() const
+{
+    std::vector<AdaptiveLanePoint> points;
+    points.reserve(decisions_.size());
+    for (const AdaptiveDecision &d : decisions_) {
+        AdaptiveLanePoint p;
+        p.startCycle = d.startCycle;
+        p.cycles = d.cycles;
+        p.phase = adaptivePhaseName(d.phase);
+        p.stallThreshold = d.knobs.stallThreshold;
+        p.locLowCutoff = d.knobs.locLowCutoff;
+        p.pressure = d.knobs.pressure();
+        p.transitioned = d.transitioned;
+        p.reverted = d.reverted;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+AdaptiveSummary
+AdaptiveManager::summary() const
+{
+    AdaptiveSummary s;
+    s.mergeCount = 1;
+    s.intervals = decisions_.size();
+    for (const AdaptiveDecision &d : decisions_) {
+        ++s.phaseIntervals[static_cast<std::size_t>(d.phase)];
+        if (d.transitioned)
+            ++s.transitions;
+        if (d.reverted)
+            ++s.reverts;
+    }
+    const AdaptiveKnobs &k = brain_.knobs();
+    s.stallThresholdSum = k.stallThreshold;
+    s.locLowCutoffSum = k.locLowCutoff;
+    s.pressureSum = k.pressure();
+    return s;
+}
+
+} // namespace csim

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Closed-loop adaptive steering manager (driven by interval CPI
+ * stacks).
+ *
+ * The paper evaluates static policies only, but its own loss taxonomy
+ * shifts per program phase. The AdaptiveManager attaches through
+ * SimOptions::observers, watches the live per-interval 9-component
+ * CPI stack (plus per-cluster occupancy imbalance and predictor
+ * telemetry), classifies each closed interval into a phase class, and
+ * retunes the live policy knobs — stall-over-steer LoC cutoff,
+ * LoC-scheduling low cutoff, and proactive load-balance
+ * aggressiveness — through the plain-setter retune surface on
+ * UnifiedSteering / LocScheduling. A small hysteresis state machine
+ * (reaction latency, min-dwell, revert-on-regression) keeps the loop
+ * from chasing noise.
+ *
+ * Everything here is deterministic: decisions derive only from the
+ * interval records, which are themselves byte-identical at any sweep
+ * thread count, so adaptive runs keep the harness's determinism
+ * guarantees.
+ */
+
+#ifndef CSIM_POLICY_ADAPTIVE_MANAGER_HH
+#define CSIM_POLICY_ADAPTIVE_MANAGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sim_observer.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/interval_profiler.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+#include "predict/loc_predictor.hh"
+
+namespace csim {
+
+/** Phase classes the hysteresis machine steers between. */
+enum class AdaptivePhase : std::uint8_t
+{
+    Smooth,      ///< issue-bound, no dominant loss component
+    MemoryBound, ///< Memory dominates: stalls are wasted, don't stall
+    SteerBound,  ///< SteerStall + Window dominate: stalling too much
+    Imbalanced,  ///< LoadImbalance dominates or occupancy skews hard
+    Contended,   ///< Contention dominates: protect critical chains
+    NumPhases
+};
+
+inline constexpr std::size_t numAdaptivePhases =
+    static_cast<std::size_t>(AdaptivePhase::NumPhases);
+
+/** Lane / JSON name of a phase class ("smooth", "memory", ...). */
+const char *adaptivePhaseName(AdaptivePhase p);
+
+/** The live knob values the manager drives. */
+struct AdaptiveKnobs
+{
+    /** Stall-over-steer LoC cutoff (UnifiedSteering). */
+    double stallThreshold = 0.30;
+    /** Lowest LoC level resolved above the non-critical mass
+     *  (LocScheduling). */
+    unsigned locLowCutoff = 2;
+    /** Proactive-LB pressure gate, engaged at num/den occupancy. */
+    unsigned pressureNum = 3;
+    unsigned pressureDen = 4;
+
+    double
+    pressure() const
+    {
+        return static_cast<double>(pressureNum) / pressureDen;
+    }
+
+    bool
+    operator==(const AdaptiveKnobs &o) const
+    {
+        return stallThreshold == o.stallThreshold &&
+            locLowCutoff == o.locLowCutoff &&
+            pressureNum == o.pressureNum &&
+            pressureDen == o.pressureDen;
+    }
+    bool operator!=(const AdaptiveKnobs &o) const { return !(*this == o); }
+};
+
+/** Hysteresis tuning for the decision state machine. */
+struct AdaptiveBrainOptions
+{
+    /** Consecutive intervals classifying into a new phase before the
+     *  machine transitions (reaction latency). */
+    unsigned reactionIntervals = 2;
+    /** Intervals a phase must be held before the next transition. */
+    unsigned minDwellIntervals = 3;
+    /** Compare CPI across a transition and undo a knob change that
+     *  made things worse. */
+    bool revertOnRegression = true;
+    /** Fractional CPI worsening that counts as a regression. */
+    double regressionTolerance = 0.05;
+};
+
+/** One interval-close decision (stats, Chrome lane, JSON). */
+struct AdaptiveDecision
+{
+    Cycle startCycle = 0;
+    std::uint64_t cycles = 0;
+    AdaptivePhase phase = AdaptivePhase::Smooth;
+    AdaptiveKnobs knobs;
+    bool transitioned = false;
+    bool reverted = false;
+};
+
+/**
+ * Aggregate of one (or, after merging, several) adaptive runs, carried
+ * into the schema-v6 "adaptive" run block. Counters sum across merged
+ * runs; final knob values are carried as sums so serialization can
+ * report the mean. mergeCount == 0 means "no adaptive run" (the block
+ * is omitted).
+ */
+struct AdaptiveSummary
+{
+    std::uint64_t mergeCount = 0;
+    std::uint64_t intervals = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t reverts = 0;
+    std::uint64_t phaseIntervals[numAdaptivePhases] = {};
+    double stallThresholdSum = 0.0;
+    double locLowCutoffSum = 0.0;
+    double pressureSum = 0.0;
+
+    bool present() const { return mergeCount > 0; }
+    void merge(const AdaptiveSummary &other);
+};
+
+/**
+ * The hysteresis state machine, separable from the observer plumbing
+ * so its transition rules are unit-testable on hand-built interval
+ * records. observe() consumes one closed interval and returns the
+ * decision taken (phase after the interval, knobs now in force, and
+ * whether this close transitioned or reverted).
+ */
+class AdaptiveBrain
+{
+  public:
+    AdaptiveBrain(const AdaptiveBrainOptions &options,
+                  const AdaptiveKnobs &initial);
+
+    AdaptiveDecision observe(const IntervalRecord &rec,
+                             unsigned windowPerCluster);
+
+    AdaptivePhase phase() const { return phase_; }
+    const AdaptiveKnobs &knobs() const { return knobs_; }
+    /** Dwell (intervals) in the current phase so far. */
+    unsigned dwell() const { return dwell_; }
+
+    /** Classify one interval by its dominant CPI-stack component and
+     *  occupancy imbalance (pure; exposed for tests). */
+    static AdaptivePhase classify(const IntervalRecord &rec,
+                                  unsigned windowPerCluster);
+
+    /** Knob assignment for a phase class, derived from the defaults
+     *  the machine was constructed with (pure; exposed for tests).
+     *  critFraction is the interval's predicted-critical steer share,
+     *  the predictor-saturation telemetry. */
+    AdaptiveKnobs knobsFor(AdaptivePhase phase,
+                           double critFraction) const;
+
+  private:
+    AdaptiveBrainOptions options_;
+    AdaptiveKnobs defaults_;
+    AdaptiveKnobs knobs_;
+    AdaptivePhase phase_ = AdaptivePhase::Smooth;
+    AdaptivePhase candidate_ = AdaptivePhase::Smooth;
+    unsigned candidateStreak_ = 0;
+    unsigned dwell_ = 0;
+    /** Mean CPI of the completed intervals before the last
+     *  transition, and the probe accumulators after it. */
+    double cpiBefore_ = 0.0;
+    bool probing_ = false;
+    std::uint64_t probeCycles_ = 0;
+    std::uint64_t probeCommits_ = 0;
+    AdaptiveKnobs revertKnobs_;
+    /** Phase whose knob assignment regressed; its knobs stay
+     *  reverted until the machine leaves and re-enters it. */
+    bool vetoActive_ = false;
+    AdaptivePhase vetoPhase_ = AdaptivePhase::Smooth;
+    std::uint64_t lastCycles_ = 0;
+    std::uint64_t lastCommits_ = 0;
+};
+
+/** Construction options for the manager. */
+struct AdaptiveManagerOptions
+{
+    /** Decision interval length in cycles. */
+    std::uint64_t intervalCycles = 2000;
+    AdaptiveBrainOptions brain;
+};
+
+/**
+ * The interval-driven policy manager. Owns a private IntervalProfiler
+ * (hook forwarding; its stats stay unregistered so it never collides
+ * with a user-requested profiler on the same observer chain), feeds
+ * each closed interval to the AdaptiveBrain, and applies the resulting
+ * knobs through the retune setters. Any of steering / scheduling /
+ * loc_pred may be null: the manager still classifies and exports its
+ * stats, it just has fewer (or no) knobs to turn.
+ */
+class AdaptiveManager : public SimObserver
+{
+  public:
+    AdaptiveManager(const MachineConfig &config, const Trace &trace,
+                    const AdaptiveManagerOptions &options,
+                    UnifiedSteering *steering,
+                    LocScheduling *scheduling,
+                    const LocPredictor *loc_pred);
+
+    // SimObserver interface: every hook forwards to the internal
+    // profiler; onCycleEnd / onRunEnd additionally react to closes.
+    void onRunStart(const CoreView &view) override;
+    void onSteer(const CoreView &view, InstId id) override;
+    void onIssue(const CoreView &view, InstId id) override;
+    void onIssueDenied(const CoreView &view, InstId id) override;
+    void onCommit(const CoreView &view, InstId id) override;
+    void onSteerStall(const CoreView &view,
+                      SteerStallCause cause) override;
+    void onFetchStall(const CoreView &view) override;
+    void onCycleEnd(const CoreView &view) override;
+    void onRunEnd(const CoreView &view) override;
+    void registerStats(StatsRegistry &registry) override;
+
+    const std::vector<AdaptiveDecision> &decisions() const
+    {
+        return decisions_;
+    }
+
+    /** Decision lane for the Chrome trace emitter. */
+    std::vector<AdaptiveLanePoint> lanePoints() const;
+
+    /** Run aggregate for the schema-v6 "adaptive" block. */
+    AdaptiveSummary summary() const;
+
+  private:
+    /** Consume interval records the profiler closed since the last
+     *  call and apply the brain's decisions. */
+    void reactToCloses();
+    void applyKnobs(const AdaptiveKnobs &knobs);
+
+    IntervalProfiler profiler_;
+    AdaptiveBrainOptions brainOptions_;
+    AdaptiveKnobs initialKnobs_;
+    AdaptiveBrain brain_;
+    UnifiedSteering *steering_;
+    LocScheduling *scheduling_;
+    const LocPredictor *locPred_;
+    std::size_t seen_ = 0;
+    /** Intervals since the last transition (dwell histogram). */
+    std::size_t sinceTransition_ = 0;
+    std::vector<AdaptiveDecision> decisions_;
+
+    Counter *statIntervals_ = nullptr;
+    Counter *statTransitions_ = nullptr;
+    Counter *statReverts_ = nullptr;
+    Counter *statPhase_[numAdaptivePhases] = {};
+    Histogram *statDwell_ = nullptr;
+};
+
+} // namespace csim
+
+#endif // CSIM_POLICY_ADAPTIVE_MANAGER_HH

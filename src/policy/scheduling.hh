@@ -72,7 +72,7 @@ class LocScheduling : public SchedulingPolicy
 {
   public:
     explicit LocScheduling(const LocPredictor &loc)
-        : loc_(loc)
+        : loc_(loc), low_(std::max(2u, loc.levels() / 8))
     {}
 
     std::uint32_t
@@ -86,11 +86,22 @@ class LocScheduling : public SchedulingPolicy
         // bit of LoC resolution buys.
         const unsigned level = loc_.level(rec.pc);
         const unsigned top = loc_.levels() - 1;
-        const unsigned low = std::max(2u, loc_.levels() / 8);
-        if (statElevated_ && level >= low)
+        if (statElevated_ && level >= low_)
             ++*statElevated_;
-        return level >= low ? top - level : top - low + 1;
+        return level >= low_ ? top - level : top - low_ + 1;
     }
+
+    // --- Live retune surface (adaptive manager) ----------------- //
+
+    /** Retune the lowest level resolved above the non-critical mass
+     *  (plain setter; a sim runs on exactly one thread). Clamped to
+     *  [1, levels-1] so the priority math stays well-formed. */
+    void
+    setLowCutoff(unsigned low)
+    {
+        low_ = std::min(std::max(low, 1u), loc_.levels() - 1);
+    }
+    unsigned lowCutoff() const { return low_; }
 
     void
     registerStats(StatsRegistry &registry) override
@@ -104,6 +115,7 @@ class LocScheduling : public SchedulingPolicy
 
   private:
     const LocPredictor &loc_;
+    unsigned low_;
     Counter *statElevated_ = nullptr;
 };
 

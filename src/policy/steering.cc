@@ -249,8 +249,8 @@ UnifiedSteering::steer(const CoreView &view, const SteerRequest &req)
     // pressure; with a lightly loaded window, collocation is free and
     // pushing can only add forwarding delay (the hammock trap).
     const bool producer_pressured =
-        view.windowOccupancy(prod.cluster) * 4 >=
-        view.config().windowPerCluster * 3;
+        view.windowOccupancy(prod.cluster) * options_.pressureDen >=
+        view.config().windowPerCluster * options_.pressureNum;
 
     if (options_.proactiveLB && producer_pressured) {
         const bool candidate =

@@ -198,6 +198,12 @@ leb128Get(const std::uint8_t *&p, const std::uint8_t *end,
         if (p == end)
             return false;
         const std::uint8_t byte = *p++;
+        // The 10th byte holds only bit 64 of the value: any payload
+        // above 0x01 (or a continuation bit) would shift past 64 bits
+        // and silently truncate, so a crafted file must be rejected,
+        // not decoded to a wrong value.
+        if (shift == 63 && byte > 0x01)
+            return false;
         v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
         if (!(byte & 0x80))
             return true;
@@ -426,8 +432,13 @@ loadTraceStore(TraceSoA &soa, const std::string &path,
     const bool compressed = hdr.flags & flagCompressWide;
     for (std::size_t c = 0; c < numColumns; ++c) {
         const ColumnDesc &col = hdr.col[c];
+        // Extent check phrased to be immune to uint64 wrap: a crafted
+        // col.bytes near 2^64 must not pass via offset+bytes overflow
+        // and then read past the mapping.
         if (col.offset % 8 != 0 || col.offset < sizeof(StoreHeader) ||
-            col.offset + col.bytes > file_bytes)
+            col.offset > static_cast<std::uint64_t>(file_bytes) ||
+            col.bytes >
+                static_cast<std::uint64_t>(file_bytes) - col.offset)
             return TraceIoStatus::Truncated;
         const bool raw = !compressed || c >= numWideColumns;
         if (raw && col.bytes != hdr.count * columnElemBytes[c])

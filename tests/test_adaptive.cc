@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Adaptive-manager tests: phase classification on hand-built interval
+ * records, the hysteresis machine's reaction latency / minimum dwell /
+ * revert-on-regression rules, the live retune surface on the policy
+ * objects, end-to-end manager runs (stats registration, summary and
+ * lane export, composition with --profile), byte-identical adaptive
+ * sweep results across 1 and 4 worker threads, and the schema-v6 /
+ * Chrome-trace serialization of adaptive runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/timing_sim.hh"
+#include "harness/json_report.hh"
+#include "harness/sweep.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/interval_profiler.hh"
+#include "policy/adaptive_manager.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
+
+namespace csim {
+namespace {
+
+/** An interval whose loss cycles sit entirely in one component. */
+IntervalRecord
+intervalOf(CpiComponent dominant, std::uint64_t cycles = 1000,
+           std::uint64_t commits = 500)
+{
+    IntervalRecord rec;
+    rec.cycles = cycles;
+    rec.components[static_cast<std::size_t>(dominant)] = cycles;
+    rec.commits = commits;
+    rec.steers = commits;
+    rec.clusters.resize(2);
+    return rec;
+}
+
+AdaptiveBrainOptions
+fastBrain()
+{
+    AdaptiveBrainOptions opt;
+    opt.reactionIntervals = 2;
+    opt.minDwellIntervals = 3;
+    opt.revertOnRegression = true;
+    opt.regressionTolerance = 0.05;
+    return opt;
+}
+
+// ----------------------------------------------------------------- //
+// Classification
+
+TEST(AdaptiveBrain, ClassifiesByDominantComponent)
+{
+    EXPECT_EQ(AdaptiveBrain::classify(intervalOf(CpiComponent::Memory),
+                                      64),
+              AdaptivePhase::MemoryBound);
+    EXPECT_EQ(
+        AdaptiveBrain::classify(intervalOf(CpiComponent::SteerStall),
+                                64),
+        AdaptivePhase::SteerBound);
+    EXPECT_EQ(AdaptiveBrain::classify(intervalOf(CpiComponent::Window),
+                                      64),
+              AdaptivePhase::SteerBound);
+    EXPECT_EQ(AdaptiveBrain::classify(
+                  intervalOf(CpiComponent::LoadImbalance), 64),
+              AdaptivePhase::Imbalanced);
+    EXPECT_EQ(
+        AdaptiveBrain::classify(intervalOf(CpiComponent::Contention),
+                                64),
+        AdaptivePhase::Contended);
+    // Issue-bound intervals and empty records classify Smooth.
+    EXPECT_EQ(AdaptiveBrain::classify(intervalOf(CpiComponent::Base),
+                                      64),
+              AdaptivePhase::Smooth);
+    EXPECT_EQ(AdaptiveBrain::classify(IntervalRecord{}, 64),
+              AdaptivePhase::Smooth);
+}
+
+TEST(AdaptiveBrain, QuarterShareNeededForDominance)
+{
+    // 24% memory, rest productive: below the quarter gate -> Smooth.
+    IntervalRecord rec = intervalOf(CpiComponent::Base, 1000);
+    auto &base =
+        rec.components[static_cast<std::size_t>(CpiComponent::Base)];
+    auto &mem =
+        rec.components[static_cast<std::size_t>(CpiComponent::Memory)];
+    base = 760;
+    mem = 240;
+    EXPECT_EQ(AdaptiveBrain::classify(rec, 64), AdaptivePhase::Smooth);
+    // 26%: dominant.
+    base = 740;
+    mem = 260;
+    EXPECT_EQ(AdaptiveBrain::classify(rec, 64),
+              AdaptivePhase::MemoryBound);
+}
+
+TEST(AdaptiveBrain, OccupancySkewPromotesToImbalanced)
+{
+    // All cycles productive, but one cluster's window averages 60/64
+    // entries while the other sits nearly empty: more than half a
+    // window of skew promotes the interval before denial cycles ever
+    // reach the stack.
+    IntervalRecord rec = intervalOf(CpiComponent::Base, 1000);
+    rec.clusters[0].occupancySum = 60 * 1000;
+    rec.clusters[1].occupancySum = 2 * 1000;
+    EXPECT_EQ(AdaptiveBrain::classify(rec, 64),
+              AdaptivePhase::Imbalanced);
+    // Mild skew stays Smooth.
+    rec.clusters[0].occupancySum = 20 * 1000;
+    rec.clusters[1].occupancySum = 12 * 1000;
+    EXPECT_EQ(AdaptiveBrain::classify(rec, 64), AdaptivePhase::Smooth);
+}
+
+TEST(AdaptiveBrain, KnobAssignmentsPerPhase)
+{
+    const AdaptiveKnobs defaults;
+    AdaptiveBrain brain(fastBrain(), defaults);
+
+    EXPECT_EQ(brain.knobsFor(AdaptivePhase::Smooth, 0.0), defaults);
+
+    const AdaptiveKnobs mem =
+        brain.knobsFor(AdaptivePhase::MemoryBound, 0.0);
+    EXPECT_GT(mem.stallThreshold, defaults.stallThreshold);
+    EXPECT_LE(mem.stallThreshold, 1.0);
+
+    const AdaptiveKnobs steer =
+        brain.knobsFor(AdaptivePhase::SteerBound, 0.0);
+    EXPECT_GT(steer.stallThreshold, defaults.stallThreshold);
+
+    const AdaptiveKnobs imb =
+        brain.knobsFor(AdaptivePhase::Imbalanced, 0.0);
+    EXPECT_LT(imb.pressure(), defaults.pressure());
+
+    const AdaptiveKnobs cont =
+        brain.knobsFor(AdaptivePhase::Contended, 0.0);
+    EXPECT_LT(cont.stallThreshold, defaults.stallThreshold);
+    EXPECT_EQ(cont.locLowCutoff, 1u);
+    EXPECT_GT(cont.pressure(), defaults.pressure());
+    // Predictor saturation (most steers predicted critical) keeps the
+    // cutoff at 2: full resolution would just reshuffle noise.
+    EXPECT_EQ(brain.knobsFor(AdaptivePhase::Contended, 0.9).locLowCutoff,
+              2u);
+}
+
+// ----------------------------------------------------------------- //
+// Hysteresis
+
+TEST(AdaptiveBrain, ReactionLatencyGatesTransitions)
+{
+    AdaptiveBrain brain(fastBrain(), AdaptiveKnobs{});
+    const IntervalRecord smooth = intervalOf(CpiComponent::Base);
+    const IntervalRecord memory = intervalOf(CpiComponent::Memory);
+
+    // Warm the machine past the minimum dwell in Smooth.
+    for (int i = 0; i < 3; ++i) {
+        const AdaptiveDecision d = brain.observe(smooth, 64);
+        EXPECT_EQ(d.phase, AdaptivePhase::Smooth);
+        EXPECT_FALSE(d.transitioned);
+    }
+
+    // One memory interval is not enough (reactionIntervals = 2)...
+    AdaptiveDecision d = brain.observe(memory, 64);
+    EXPECT_EQ(d.phase, AdaptivePhase::Smooth);
+    EXPECT_FALSE(d.transitioned);
+    // ...the second consecutive one transitions and retunes.
+    d = brain.observe(memory, 64);
+    EXPECT_TRUE(d.transitioned);
+    EXPECT_EQ(d.phase, AdaptivePhase::MemoryBound);
+    EXPECT_GT(d.knobs.stallThreshold, AdaptiveKnobs{}.stallThreshold);
+}
+
+TEST(AdaptiveBrain, InterruptedStreakNeverFires)
+{
+    AdaptiveBrain brain(fastBrain(), AdaptiveKnobs{});
+    const IntervalRecord smooth = intervalOf(CpiComponent::Base);
+    const IntervalRecord memory = intervalOf(CpiComponent::Memory);
+    for (int i = 0; i < 3; ++i)
+        (void)brain.observe(smooth, 64);
+    // memory, smooth, memory, smooth...: the candidate streak resets
+    // every other interval, so the machine must hold Smooth.
+    for (int i = 0; i < 6; ++i) {
+        const AdaptiveDecision d =
+            brain.observe(i % 2 ? smooth : memory, 64);
+        EXPECT_EQ(d.phase, AdaptivePhase::Smooth) << "interval " << i;
+        EXPECT_FALSE(d.transitioned);
+    }
+}
+
+TEST(AdaptiveBrain, MinDwellHoldsEarlyTransitions)
+{
+    AdaptiveBrainOptions opt = fastBrain();
+    opt.minDwellIntervals = 5;
+    AdaptiveBrain brain(opt, AdaptiveKnobs{});
+    const IntervalRecord memory = intervalOf(CpiComponent::Memory);
+
+    // The candidate streak is satisfied after 2 intervals, but the
+    // machine must dwell 5 intervals in Smooth first.
+    for (int i = 0; i < 4; ++i) {
+        const AdaptiveDecision d = brain.observe(memory, 64);
+        EXPECT_FALSE(d.transitioned) << "interval " << i;
+        EXPECT_EQ(d.phase, AdaptivePhase::Smooth);
+    }
+    const AdaptiveDecision d = brain.observe(memory, 64);
+    EXPECT_TRUE(d.transitioned);
+    EXPECT_EQ(d.phase, AdaptivePhase::MemoryBound);
+}
+
+TEST(AdaptiveBrain, RevertsKnobsOnCpiRegression)
+{
+    AdaptiveBrain brain(fastBrain(), AdaptiveKnobs{});
+    // Healthy smooth intervals: CPI = 1000/500 = 2.0.
+    for (int i = 0; i < 3; ++i)
+        (void)brain.observe(intervalOf(CpiComponent::Base), 64);
+    // Transition into MemoryBound.
+    (void)brain.observe(intervalOf(CpiComponent::Memory), 64);
+    const AdaptiveDecision t =
+        brain.observe(intervalOf(CpiComponent::Memory), 64);
+    ASSERT_TRUE(t.transitioned);
+    EXPECT_NE(t.knobs, AdaptiveKnobs{});
+
+    // The probe window (reactionIntervals = 2) shows CPI collapsing
+    // to 1000/100 = 10.0, far beyond the 5% tolerance: the machine
+    // must undo the knob change.
+    (void)brain.observe(intervalOf(CpiComponent::Memory, 1000, 100),
+                        64);
+    const AdaptiveDecision r =
+        brain.observe(intervalOf(CpiComponent::Memory, 1000, 100), 64);
+    EXPECT_TRUE(r.reverted);
+    EXPECT_EQ(r.knobs, AdaptiveKnobs{});
+    // The phase classification itself stands; only the knobs revert.
+    EXPECT_EQ(r.phase, AdaptivePhase::MemoryBound);
+}
+
+TEST(AdaptiveBrain, KeepsKnobsWhenProbeHoldsCpi)
+{
+    AdaptiveBrain brain(fastBrain(), AdaptiveKnobs{});
+    for (int i = 0; i < 3; ++i)
+        (void)brain.observe(intervalOf(CpiComponent::Base), 64);
+    (void)brain.observe(intervalOf(CpiComponent::Memory), 64);
+    const AdaptiveDecision t =
+        brain.observe(intervalOf(CpiComponent::Memory), 64);
+    ASSERT_TRUE(t.transitioned);
+
+    // Probe CPI equals the pre-transition CPI: no revert.
+    (void)brain.observe(intervalOf(CpiComponent::Memory), 64);
+    const AdaptiveDecision ok =
+        brain.observe(intervalOf(CpiComponent::Memory), 64);
+    EXPECT_FALSE(ok.reverted);
+    EXPECT_EQ(ok.knobs, t.knobs);
+}
+
+// ----------------------------------------------------------------- //
+// Live retune surface
+
+TEST(RetuneSurface, SteeringAndSchedulingSettersClamp)
+{
+    const UnifiedSteeringOptions opt;
+    UnifiedSteering steering(opt, nullptr, nullptr);
+    EXPECT_DOUBLE_EQ(steering.stallThreshold(), opt.stallThreshold);
+    steering.setStallThreshold(0.55);
+    EXPECT_DOUBLE_EQ(steering.stallThreshold(), 0.55);
+    steering.setProactivePressure(1, 2);
+    EXPECT_EQ(steering.pressureNum(), 1u);
+    EXPECT_EQ(steering.pressureDen(), 2u);
+
+    LocPredictor loc;
+    LocScheduling sched(loc);
+    const unsigned top = loc.levels() - 1;
+    sched.setLowCutoff(4);
+    EXPECT_EQ(sched.lowCutoff(), 4u);
+    sched.setLowCutoff(0); // clamps to 1
+    EXPECT_EQ(sched.lowCutoff(), 1u);
+    sched.setLowCutoff(1000); // clamps to levels-1
+    EXPECT_EQ(sched.lowCutoff(), top);
+}
+
+// ----------------------------------------------------------------- //
+// End-to-end manager runs
+
+Trace
+buildSmallTrace(const std::string &workload, std::uint64_t seed,
+                std::uint64_t instructions = 6000)
+{
+    WorkloadConfig wcfg;
+    wcfg.targetInstructions = instructions;
+    wcfg.seed = seed;
+    return buildAnnotatedTrace(workload, wcfg);
+}
+
+ExperimentConfig
+adaptiveConfig(std::uint64_t interval_cycles = 500)
+{
+    ExperimentConfig cfg;
+    cfg.instructions = 6000;
+    cfg.seeds = {1, 2};
+    cfg.adaptive.enabled = true;
+    cfg.adaptive.intervalCycles = interval_cycles;
+    return cfg;
+}
+
+TEST(AdaptiveManager, RunsAndExportsSummaryAndStats)
+{
+    const Trace trace = buildSmallTrace("mcf", 1);
+    const MachineConfig machine = MachineConfig::clustered(4);
+
+    ExperimentConfig cfg = adaptiveConfig();
+    cfg.seeds = {1};
+    PolicyRun run = runPolicy(trace, machine,
+                              PolicyKind::FocusedLocStallProactive,
+                              cfg);
+
+    ASSERT_TRUE(run.adaptive.present());
+    EXPECT_EQ(run.adaptive.mergeCount, 1u);
+    EXPECT_GE(run.adaptive.intervals, 1u);
+    std::uint64_t phase_sum = 0;
+    for (std::size_t i = 0; i < numAdaptivePhases; ++i)
+        phase_sum += run.adaptive.phaseIntervals[i];
+    EXPECT_EQ(phase_sum, run.adaptive.intervals);
+    EXPECT_EQ(run.adaptiveLane.size(), run.adaptive.intervals);
+
+    // The manager's registry entries rode into the run stats.
+    EXPECT_TRUE(run.sim.stats.has("adaptive.intervals"));
+    EXPECT_TRUE(run.sim.stats.has("adaptive.transitions"));
+    EXPECT_TRUE(run.sim.stats.has("adaptive.reverts"));
+    EXPECT_TRUE(run.sim.stats.has("adaptive.phase.smooth"));
+    EXPECT_TRUE(run.sim.stats.has("adaptive.knob.stallThreshold"));
+    EXPECT_EQ(run.sim.stats.value("adaptive.intervals"),
+              static_cast<double>(run.adaptive.intervals));
+
+    // Back-to-back adaptive runs are deterministic: same trace, same
+    // decisions, same cycle count.
+    PolicyRun again = runPolicy(trace, machine,
+                                PolicyKind::FocusedLocStallProactive,
+                                cfg);
+    EXPECT_EQ(run.sim.cycles, again.sim.cycles);
+    ASSERT_EQ(run.adaptiveLane.size(), again.adaptiveLane.size());
+    for (std::size_t i = 0; i < run.adaptiveLane.size(); ++i) {
+        EXPECT_EQ(run.adaptiveLane[i].phase,
+                  again.adaptiveLane[i].phase);
+        EXPECT_EQ(run.adaptiveLane[i].stallThreshold,
+                  again.adaptiveLane[i].stallThreshold);
+    }
+}
+
+TEST(AdaptiveManager, ComposesWithProfilerWithoutStatCollision)
+{
+    const Trace trace = buildSmallTrace("gzip", 1);
+    ExperimentConfig cfg = adaptiveConfig();
+    cfg.seeds = {1};
+    cfg.profile.enabled = true;
+    cfg.profile.intervalCycles = 500;
+    PolicyRun run = runPolicy(trace, MachineConfig::clustered(2),
+                              PolicyKind::FocusedLocStall, cfg);
+
+    // Both observers delivered: the user-requested profiler owns the
+    // profiler.* namespace, the manager (whose internal profiler stays
+    // unregistered) owns adaptive.*; a collision would have fataled
+    // inside the registry before the run returned.
+    EXPECT_FALSE(run.intervals.empty());
+    EXPECT_TRUE(run.adaptive.present());
+    EXPECT_TRUE(run.sim.stats.has("profiler.intervals"));
+    EXPECT_TRUE(run.sim.stats.has("adaptive.intervals"));
+}
+
+TEST(AdaptiveManager, BaselinePolicyHasNoKnobsButStillClassifies)
+{
+    // ModN exposes no retune surface (stack.unified/locSched null):
+    // the manager still watches, classifies and exports.
+    const Trace trace = buildSmallTrace("gcc", 1, 4000);
+    ExperimentConfig cfg = adaptiveConfig();
+    cfg.seeds = {1};
+    PolicyRun run = runPolicy(trace, MachineConfig::clustered(2),
+                              PolicyKind::ModN, cfg);
+    EXPECT_TRUE(run.adaptive.present());
+    EXPECT_GE(run.adaptive.intervals, 1u);
+}
+
+// ----------------------------------------------------------------- //
+// Sweep determinism: the acceptance criterion
+
+TEST(AdaptiveSweep, ResultsIdenticalAcrossThreadCounts)
+{
+    SweepSpec spec;
+    spec.cfg = adaptiveConfig();
+    ExperimentConfig stat = spec.cfg;
+    stat.adaptive.enabled = false;
+    for (const char *wl : {"gzip", "mcf"}) {
+        for (unsigned n : {2u, 4u}) {
+            SweepCell adaptive;
+            adaptive.workload = wl;
+            adaptive.machine = MachineConfig::clustered(n);
+            adaptive.policy = PolicyKind::FocusedLocStallProactive;
+            adaptive.labelSuffix = "+adaptive";
+            SweepCell fixed = adaptive;
+            fixed.cfg = stat;
+            fixed.labelSuffix = "";
+            spec.add(std::move(adaptive));
+            spec.add(std::move(fixed));
+        }
+    }
+
+    TraceCache cache;
+    const SweepOutcome one = SweepRunner(1, &cache).run(spec);
+    const SweepOutcome four = SweepRunner(4, &cache).run(spec);
+    ASSERT_EQ(one.results.size(), four.results.size());
+
+    const auto fingerprint = [](const SweepOutcome &o) {
+        std::ostringstream os;
+        for (std::size_t i = 0; i < o.results.size(); ++i) {
+            const AggregateResult &r = o.results[i];
+            os << o.cells[i].label() << ":" << r.cycles << ":"
+               << r.instructions << ":" << r.adaptive.intervals << ":"
+               << r.adaptive.transitions << ":" << r.adaptive.reverts
+               << ":" << r.adaptive.stallThresholdSum << "\n";
+            for (const AdaptiveLanePoint &p : r.adaptiveLane)
+                os << p.startCycle << "," << p.cycles << "," << p.phase
+                   << "," << p.stallThreshold << "," << p.locLowCutoff
+                   << "," << p.pressure << ";";
+            os << "\n";
+        }
+        return os.str();
+    };
+    // Byte-identical aggregates + decision lanes at both thread counts.
+    EXPECT_EQ(fingerprint(one), fingerprint(four));
+
+    // The adaptive cell merged both seeds; its static sibling (same
+    // triple, distinguished by the label suffix) carries no adaptive
+    // block at all.
+    EXPECT_EQ(one.cells[0].label().find("+adaptive") != std::string::npos,
+              true);
+    EXPECT_EQ(one.results[0].adaptive.mergeCount, 2u);
+    EXPECT_FALSE(one.results[1].adaptive.present());
+}
+
+// ----------------------------------------------------------------- //
+// Serialization: schema v6 + Chrome lane
+
+TEST(JsonReport, SchemaV6AdaptiveRoundTrip)
+{
+    const Trace trace = buildSmallTrace("gzip", 1);
+    ExperimentConfig cfg = adaptiveConfig();
+    cfg.seeds = {1};
+    PolicyRun run = runPolicy(trace, MachineConfig::clustered(2),
+                              PolicyKind::FocusedLocStallProactive,
+                              cfg);
+    ASSERT_TRUE(run.adaptive.present());
+
+    const std::string path = "test_adaptive_report.json";
+    {
+        const char *argv[] = {"bench", "--json", path.c_str(),
+                              "--adaptive"};
+        BenchContext ctx("test_adaptive_bench", 4,
+                         const_cast<char **>(argv));
+        EXPECT_TRUE(ctx.adaptiveRequested());
+        ExperimentConfig applied;
+        ctx.apply(applied);
+        EXPECT_TRUE(applied.adaptive.enabled);
+        ctx.addRunStats("gzip/2x4w/focused+loc+stall+proactive",
+                        run.sim.stats, IntervalSeries{}, {},
+                        run.adaptive, run.adaptiveLane);
+        EXPECT_EQ(ctx.finish(), 0);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::remove(path.c_str());
+
+    EXPECT_NE(json.find("\"schemaVersion\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"adaptive\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"transitions\":"), std::string::npos);
+    EXPECT_NE(json.find("\"reverts\":"), std::string::npos);
+    EXPECT_NE(json.find("\"phases\":{\"smooth\":"), std::string::npos);
+    EXPECT_NE(json.find("\"finalKnobs\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"stallThreshold\":"), std::string::npos);
+}
+
+TEST(ChromeTrace, AdaptiveLaneEmission)
+{
+    std::vector<AdaptiveLanePoint> lane;
+    AdaptiveLanePoint p;
+    p.startCycle = 0;
+    p.cycles = 500;
+    p.phase = "smooth";
+    p.stallThreshold = 0.30;
+    p.locLowCutoff = 2;
+    p.pressure = 0.75;
+    lane.push_back(p);
+    p.startCycle = 500;
+    p.phase = "memory";
+    p.stallThreshold = 0.50;
+    p.transitioned = true;
+    lane.push_back(p);
+
+    std::vector<ChromeTraceRun> runs;
+    runs.push_back(
+        ChromeTraceRun{"gzip/2x4w/adaptive", IntervalSeries{}, lane});
+    std::ostringstream os;
+    writeChromeTrace(os, runs);
+    const std::string json = os.str();
+
+    // Lane metadata, per-interval phase slices, the knob counter
+    // track, and the transition instant.
+    EXPECT_NE(json.find("\"name\":\"adaptive\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"smooth\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"memory\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"adaptiveKnobs\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"transition\""), std::string::npos);
+    EXPECT_NE(json.find("\"stallThreshold\":0.500"),
+              std::string::npos);
+
+    // Emission is a pure function of the lane.
+    std::ostringstream again;
+    writeChromeTrace(again, runs);
+    EXPECT_EQ(json, again.str());
+}
+
+TEST(AdaptiveSummary, MergeSumsEverything)
+{
+    AdaptiveSummary a;
+    a.mergeCount = 1;
+    a.intervals = 10;
+    a.transitions = 2;
+    a.reverts = 1;
+    a.phaseIntervals[0] = 8;
+    a.phaseIntervals[1] = 2;
+    a.stallThresholdSum = 0.30;
+    a.locLowCutoffSum = 2.0;
+    a.pressureSum = 0.75;
+    AdaptiveSummary b = a;
+    b.intervals = 12;
+
+    a.merge(b);
+    EXPECT_EQ(a.mergeCount, 2u);
+    EXPECT_EQ(a.intervals, 22u);
+    EXPECT_EQ(a.transitions, 4u);
+    EXPECT_EQ(a.reverts, 2u);
+    EXPECT_EQ(a.phaseIntervals[0], 16u);
+    EXPECT_DOUBLE_EQ(a.stallThresholdSum, 0.60);
+
+    // Merging a non-adaptive (default) summary changes nothing: the
+    // static seeds of a mixed merge don't dilute the means.
+    const AdaptiveSummary empty;
+    EXPECT_FALSE(empty.present());
+    a.merge(empty);
+    EXPECT_EQ(a.mergeCount, 2u);
+    EXPECT_EQ(a.intervals, 22u);
+}
+
+} // namespace
+} // namespace csim

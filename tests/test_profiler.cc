@@ -18,10 +18,13 @@
 #include <string>
 #include <vector>
 
+#include "core/timing_sim.hh"
 #include "harness/json_report.hh"
 #include "harness/sweep.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/interval_profiler.hh"
+#include "policy/scheduling.hh"
+#include "policy/steering.hh"
 
 namespace csim {
 namespace {
@@ -135,6 +138,103 @@ TEST(IntervalProfiler, SingleIntervalWhenLongerThanRun)
     ASSERT_EQ(run.intervals.records.size(), 1u);
     EXPECT_EQ(run.intervals.records[0].cycles, run.sim.cycles);
     EXPECT_EQ(run.intervals.records[0].componentSum(), run.sim.cycles);
+}
+
+TEST(IntervalProfiler, TrailingPartialIntervalOnPrimeSizes)
+{
+    // Prime trace lengths against prime (and unit) interval lengths:
+    // the run can essentially never end on an interval boundary, so
+    // the trailing interval is partial and must still close with an
+    // exact components sum and full event conservation.
+    const std::uint64_t prime_lengths[] = {3989, 7919};
+    const std::uint64_t prime_intervals[] = {499, 997, 1};
+    for (std::uint64_t n : prime_lengths) {
+        const Trace trace = buildSmallTrace("gzip", 3, n);
+        ASSERT_EQ(trace.size(), n);
+        for (std::uint64_t iv : prime_intervals) {
+            SCOPED_TRACE(testing::Message()
+                         << "n=" << n << " interval=" << iv);
+            ExperimentConfig cfg = profiledConfig(iv);
+            cfg.instructions = n;
+            cfg.seeds = {3};
+            const MachineConfig machine = MachineConfig::clustered(4);
+            PolicyRun run = runPolicy(trace, machine,
+                                      PolicyKind::FocusedLocStall, cfg);
+            checkSeries(run.intervals, run.sim, machine, iv);
+            // The trailing record is the run's remainder modulo the
+            // interval length (or a full record on an exact fit).
+            const IntervalRecord &tail = run.intervals.records.back();
+            const std::uint64_t rem = run.sim.cycles % iv;
+            EXPECT_EQ(tail.cycles, rem == 0 ? iv : rem);
+        }
+    }
+}
+
+TEST(IntervalProfiler, EmptyRunKeepsSeriesGeometry)
+{
+    // A zero-instruction run returns before any observer hook fires,
+    // so the series geometry cannot rely on onRunStart. A series left
+    // with intervalCycles == 0 would zero-divide downstream
+    // normalizers and trip the merge geometry asserts.
+    const Trace empty;
+    const MachineConfig machine = MachineConfig::clustered(4);
+    IntervalProfilerOptions popt;
+    popt.intervalCycles = 500;
+    IntervalProfiler prof(machine, empty, popt);
+    UnifiedSteering st(UnifiedSteeringOptions{}, nullptr, nullptr);
+    AgeScheduling age;
+    SimOptions opt;
+    opt.observers.push_back(&prof);
+    (void)TimingSim(machine, empty, st, age, nullptr, opt).run();
+
+    const IntervalSeries series = prof.takeSeries();
+    EXPECT_TRUE(series.empty());
+    EXPECT_EQ(series.intervalCycles, 500u);
+    EXPECT_EQ(series.clusterIssueWidth, machine.cluster.issueWidth);
+    EXPECT_EQ(series.windowPerCluster, machine.windowPerCluster);
+
+    // Merging a real profiled run into it must keep that run's
+    // records intact instead of asserting on mismatched geometry.
+    ExperimentConfig cfg = profiledConfig(500);
+    cfg.seeds = {1};
+    PolicyRun run = runPolicy(buildSmallTrace("gzip", 1),
+                              MachineConfig::clustered(4),
+                              PolicyKind::Focused, cfg);
+    IntervalSeries merged = series;
+    merged.merge(run.intervals);
+    EXPECT_EQ(merged.records.size(), run.intervals.records.size());
+}
+
+TEST(IntervalProfiler, RegionSampledProfileMergesPartialTails)
+{
+    // Region sampling merges per-region series index-wise; region
+    // runs end mid-interval, so partial tail records land on top of
+    // full records from longer regions. Component sums must survive
+    // the merge and total cycles must cover every region's run.
+    const Trace trace = buildSmallTrace("gzip", 3, 7919);
+    const TraceSoA soa(trace);
+    ExperimentConfig cfg = profiledConfig(499);
+    cfg.instructions = trace.size();
+    cfg.seeds = {3};
+    cfg.regions = 3;
+    cfg.regionLen = 601;
+    cfg.regionWarmup = 97;
+    const AggregateResult agg = runRegionSampledCell(
+        soa, MachineConfig::clustered(4), PolicyKind::FocusedLocStall,
+        cfg);
+    ASSERT_FALSE(agg.intervals.empty());
+    EXPECT_EQ(agg.intervals.mergeCount, 3u);
+    std::uint64_t cycles = 0;
+    for (const IntervalRecord &rec : agg.intervals.records) {
+        EXPECT_EQ(rec.componentSum(), rec.cycles);
+        cycles += rec.cycles;
+    }
+    // The profiler spans each region's full run (warmup + measure
+    // phases alike); the merged series must cover exactly that.
+    std::uint64_t phase_cycles = 0;
+    for (const PhaseResult &phase : agg.phases)
+        phase_cycles += phase.cycles;
+    EXPECT_EQ(cycles, phase_cycles);
 }
 
 TEST(IntervalProfiler, ProfilerStatsRegistered)
@@ -388,7 +488,7 @@ TEST(JsonReport, SchemaV3IntervalsRoundTrip)
     const std::string json = ss.str();
     std::remove(path.c_str());
 
-    EXPECT_NE(json.find("\"schemaVersion\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\":6"), std::string::npos);
     EXPECT_NE(json.find("\"intervals\":{"), std::string::npos);
     EXPECT_NE(json.find("\"intervalCycles\":500"), std::string::npos);
     EXPECT_NE(json.find("\"mergeCount\":1"), std::string::npos);

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -392,6 +394,193 @@ TEST(TraceStoreRegions, SampledSubsetIsCheaperThanFullRun)
     EXPECT_EQ(sampled.instructions, 2 * 500u);
     EXPECT_LT(sampled.instructions, trace.size());
     EXPECT_GT(sampled.cpi(), 0.0);
+}
+
+TEST(TraceStoreRegions, ExactFitBudgetAndSingleRegionAreAccepted)
+{
+    // k * (warmup + len) == n is the largest legal budget; with one
+    // region the span may cover the whole store.
+    const Trace trace = smallTrace("gzip", 4000, 3);
+    const TraceSoA soa(trace);
+    ExperimentConfig cfg;
+    cfg.instructions = trace.size();
+    cfg.regions = 4;
+    cfg.regionLen = 900;
+    cfg.regionWarmup = 100;
+    const AggregateResult tight = runRegionSampledCell(
+        soa, MachineConfig::clustered(4), PolicyKind::Focused, cfg);
+    EXPECT_EQ(tight.instructions, 4 * 900u);
+
+    cfg.regions = 1;
+    cfg.regionLen = trace.size() - 100;
+    const AggregateResult whole = runRegionSampledCell(
+        soa, MachineConfig::clustered(4), PolicyKind::Focused, cfg);
+    EXPECT_EQ(whole.instructions, trace.size() - 100);
+}
+
+TEST(TraceStoreRegionsDeath, RegionBudgetExceedingStoreIsFatal)
+{
+    // 4 x (200 + 1900) = 8400 > 8000: evenly spaced starts at stride
+    // 2000 would overlap every adjacent region and double-count the
+    // overlap in the merged phases. Must be a clean fatal, not a
+    // silent wrong answer.
+    const Trace trace = smallTrace("gzip", 8000, 3);
+    const TraceSoA soa(trace);
+    ExperimentConfig cfg;
+    cfg.instructions = trace.size();
+    cfg.regions = 4;
+    cfg.regionLen = 1900;
+    cfg.regionWarmup = 200;
+    EXPECT_EXIT(runRegionSampledCell(soa, MachineConfig::clustered(4),
+                                     PolicyKind::Focused, cfg),
+                ::testing::ExitedWithCode(1),
+                "fatal: region sampling: .*exceed");
+}
+
+TEST(TraceStoreRegionsDeath, RegionCountExceedingStoreIsFatal)
+{
+    const Trace trace = smallTrace("vpr", 300, 2);
+    const TraceSoA soa(trace);
+    ExperimentConfig cfg;
+    cfg.instructions = trace.size();
+    cfg.regions = trace.size() + 1;
+    cfg.regionLen = 1;
+    EXPECT_EXIT(runRegionSampledCell(soa, MachineConfig::clustered(4),
+                                     PolicyKind::Focused, cfg),
+                ::testing::ExitedWithCode(1),
+                "fatal: region sampling: region count .*out of range");
+}
+
+TEST(TraceStoreRegionsDeath, ZeroRegionLenIsFatal)
+{
+    const Trace trace = smallTrace("vpr", 300, 2);
+    const TraceSoA soa(trace);
+    ExperimentConfig cfg;
+    cfg.instructions = trace.size();
+    cfg.regions = 2;
+    cfg.regionLen = 0;
+    EXPECT_EXIT(runRegionSampledCell(soa, MachineConfig::clustered(4),
+                                     PolicyKind::Focused, cfg),
+                ::testing::ExitedWithCode(1),
+                "fatal: region sampling: region length");
+}
+
+// ---------------------------------------------------------------- //
+// Corrupt / hostile store files
+
+// Byte-level builder for hand-crafted hostile compressed stores. The
+// layout constants mirror the static_asserts pinning the v2 format in
+// trace_store.cc: 240-byte header, {offset, bytes} column descriptor
+// pairs starting at byte 48.
+struct CraftedStore
+{
+    std::vector<std::uint8_t> bytes;
+
+    explicit CraftedStore(std::size_t fileBytes)
+        : bytes(fileBytes, 0)
+    {
+        std::memcpy(bytes.data(), "csimtrc2", 8);
+        put32(8, 2);            // version
+        put32(12, 0x01020304u); // endian tag
+        put64(16, 1);           // count
+        put64(24, 1);           // capacity
+        put64(32, 0);           // producer links
+        put32(40, 1);           // flags: wide columns compressed
+        put32(44, 12);          // column count
+    }
+
+    void
+    put32(std::size_t off, std::uint32_t v)
+    {
+        std::memcpy(&bytes[off], &v, sizeof(v));
+    }
+
+    void
+    put64(std::size_t off, std::uint64_t v)
+    {
+        std::memcpy(&bytes[off], &v, sizeof(v));
+    }
+
+    void
+    col(std::size_t c, std::uint64_t offset, std::uint64_t size)
+    {
+        put64(48 + 16 * c, offset);
+        put64(48 + 16 * c + 8, size);
+    }
+
+    std::string
+    write(const char *tag) const
+    {
+        const std::string path = tempPath(tag);
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        EXPECT_NE(f, nullptr);
+        EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+        std::fclose(f);
+        return path;
+    }
+};
+
+TEST(TraceStoreCorruption, OverlongVarintIsRejected)
+{
+    // col0 (pc) holds a 10-byte varint whose final byte encodes
+    // payload bits beyond 2^64. An unchecked decoder shifts those
+    // bits out of the accumulator and accepts a silently wrong
+    // value; the loader must reject the file instead.
+    CraftedStore f(344);
+    f.col(0, 240, 10);
+    for (int i = 0; i < 9; ++i)
+        f.bytes[240 + i] = 0xff;
+    f.bytes[249] = 0x7f; // terminator carrying bits past the 64th
+    std::uint64_t off = 256;
+    for (std::size_t c = 1; c < 12; ++c, off += 8)
+        f.col(c, off, 1); // zero bytes: valid varints / raw values
+
+    const std::string path = f.write("overlongvarint");
+    TraceSoA soa;
+    EXPECT_EQ(loadTraceStore(soa, path), TraceIoStatus::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStoreCorruption, ColumnExtentOverflowIsRejected)
+{
+    // col0's byte count is chosen so offset + bytes wraps past 2^64
+    // to a small value: a naive extent check passes and the decoder
+    // walks off the end of the mapping. The file is exactly one page
+    // so the overrun genuinely leaves the mapped range (continuation
+    // bytes run right up to the last file byte). Without the
+    // overflow-safe check the failure is an out-of-bounds read /
+    // pointer overflow, caught deterministically by the ASan+UBSan
+    // CI configuration.
+    CraftedStore f(4096);
+    f.col(0, 4088, ~std::uint64_t{0} - 4080); // 4088 + bytes == 8
+    for (int i = 0; i < 8; ++i)
+        f.bytes[4088 + i] = 0xff;
+    std::uint64_t off = 240;
+    for (std::size_t c = 1; c < 12; ++c, off += 8)
+        f.col(c, off, 1);
+
+    const std::string path = f.write("extentwrap");
+    TraceSoA soa;
+    EXPECT_EQ(loadTraceStore(soa, path), TraceIoStatus::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStoreCorruption, TruncatedVarintAtColumnEndIsRejected)
+{
+    // A continuation bit on the last byte of the column promises more
+    // bytes than the column holds.
+    CraftedStore f(344);
+    f.col(0, 240, 1);
+    f.bytes[240] = 0x80;
+    std::uint64_t off = 248;
+    for (std::size_t c = 1; c < 12; ++c, off += 8)
+        f.col(c, off, 1);
+
+    const std::string path = f.write("truncvarint");
+    TraceSoA soa;
+    EXPECT_EQ(loadTraceStore(soa, path), TraceIoStatus::Truncated);
+    std::remove(path.c_str());
 }
 
 } // anonymous namespace

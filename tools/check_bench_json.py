@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a bench binary's --json report (schema versions 1-5).
+"""Validate a bench binary's --json report (schema versions 1-6).
 
 Usage: check_bench_json.py [--min-stats N] [--require-host]
                            report.json [report2.json ...]
@@ -7,18 +7,26 @@ Usage: check_bench_json.py [--min-stats N] [--require-host]
 Schema (see src/harness/json_report.hh and README "Observability"):
 
   {
-    "schemaVersion": 5,
+    "schemaVersion": 6,
     "benchmark": "<name>",
     "threads": <int >= 1>,          # v2+
     "wallSeconds": <number >= 0>,   # v2+
     "grids":   [{"title", "columns", "rows", "averages"}, ...],
     "scalars": {"<name>": <number>, ...},
     "runs":    [{"label": str, "stats": {name: num | distribution},
-                 "phases": [...],                # v5, phased runs
+                 "phases": [...],                # v5+, phased runs
                  "intervals": {...},             # v3+, profiled runs
-                 "host": {...}}],                # v4, measured runs
-    "host":    {...}                             # v4, optional
+                 "adaptive": {...},              # v6, adaptive runs
+                 "host": {...}}],                # v4+, measured runs
+    "host":    {...}                             # v4+, optional
   }
+
+A run's "adaptive" object (v6, present on runs steered by the
+closed-loop adaptive manager) is {"runs": uint >= 1, "intervals",
+"transitions" <= intervals, "reverts" <= transitions,
+"phases": {"smooth", "memory", "steer", "imbalance", "contention"}
+(summing to intervals), "finalKnobs": {"stallThreshold" in [0,1],
+"locLowCutoff" >= 0, "pressure" in (0,1]}}.
 
 A run's "phases" list (v5, present on runs with warmup/measure phases
 or region sampling) holds {"name": str, "isWarmup": bool,
@@ -166,6 +174,51 @@ def check_phases(where, phases):
         require(p["cpi"] >= 0, f"{pwhere}.cpi must be >= 0")
 
 
+ADAPTIVE_PHASE_KEYS = {"smooth", "memory", "steer", "imbalance",
+                       "contention"}
+
+
+def check_adaptive(where, a):
+    require(isinstance(a, dict), f"{where}: not an object")
+    require(set(a.keys()) == {"runs", "intervals", "transitions",
+                              "reverts", "phases", "finalKnobs"},
+            f"{where}: keys {sorted(a.keys())} are not the adaptive "
+            f"schema")
+    for k in ("runs", "intervals", "transitions", "reverts"):
+        check_uint(a[k], f"{where}.{k}")
+    require(a["runs"] >= 1, f"{where}.runs must be >= 1")
+    require(a["transitions"] <= a["intervals"],
+            f"{where}: {a['transitions']} transitions exceed "
+            f"{a['intervals']} intervals")
+    require(a["reverts"] <= a["transitions"],
+            f"{where}: {a['reverts']} reverts exceed "
+            f"{a['transitions']} transitions")
+    phases = a["phases"]
+    require(isinstance(phases, dict), f"{where}.phases: not an object")
+    require(set(phases.keys()) == ADAPTIVE_PHASE_KEYS,
+            f"{where}.phases keys {sorted(phases.keys())} != "
+            f"{sorted(ADAPTIVE_PHASE_KEYS)}")
+    for k, v in phases.items():
+        check_uint(v, f"{where}.phases.{k}")
+    require(sum(phases.values()) == a["intervals"],
+            f"{where}.phases sum to {sum(phases.values())}, not the "
+            f"{a['intervals']} observed intervals")
+    knobs = a["finalKnobs"]
+    require(isinstance(knobs, dict),
+            f"{where}.finalKnobs: not an object")
+    require(set(knobs.keys()) == {"stallThreshold", "locLowCutoff",
+                                  "pressure"},
+            f"{where}.finalKnobs keys {sorted(knobs.keys())} are not "
+            f"the knob schema")
+    for k, v in knobs.items():
+        check_number(v, f"{where}.finalKnobs.{k}")
+        require(v >= 0, f"{where}.finalKnobs.{k} must be >= 0")
+    require(0 <= knobs["stallThreshold"] <= 1,
+            f"{where}.finalKnobs.stallThreshold must lie in [0, 1]")
+    require(0 < knobs["pressure"] <= 1,
+            f"{where}.finalKnobs.pressure must lie in (0, 1]")
+
+
 def check_run_host(where, h):
     require(isinstance(h, dict), f"{where}: not an object")
     require(set(h.keys()) == {"wallSeconds", "instructions",
@@ -260,8 +313,8 @@ def check_report(path, min_stats, require_host=False):
 
     require(isinstance(d, dict), "top level is not an object")
     version = d.get("schemaVersion")
-    require(version in (1, 2, 3, 4, 5),
-            f"schemaVersion {version!r} not in (1, 2, 3, 4, 5)")
+    require(version in (1, 2, 3, 4, 5, 6),
+            f"schemaVersion {version!r} not in (1, 2, 3, 4, 5, 6)")
     require(isinstance(d.get("benchmark"), str) and d["benchmark"],
             "benchmark must be a non-empty string")
     if version >= 2:
@@ -299,6 +352,10 @@ def check_report(path, min_stats, require_host=False):
             require(version >= 3,
                     f"runs[{i}]: 'intervals' requires schemaVersion 3")
             check_intervals(f"runs[{i}].intervals", run["intervals"])
+        if "adaptive" in run:
+            require(version >= 6,
+                    f"runs[{i}]: 'adaptive' requires schemaVersion 6")
+            check_adaptive(f"runs[{i}].adaptive", run["adaptive"])
         if "host" in run:
             require(version >= 4,
                     f"runs[{i}]: 'host' requires schemaVersion 4")

@@ -17,9 +17,16 @@ single measured run (e.g. the trace-build pipeline). Runs present in
 only one report are reported but never fatal, so grid changes don't
 block unrelated work.
 
-CI runs this as a *soft* gate (report-only artifact): host-MIPS on
-shared runners is noisy, so a human reads the table before believing
-it. Local use against the committed repo-root baseline:
+Malformed inputs fail with a one-line diagnostic, never a traceback:
+this script is a hard CI gate, and a gate that crashes on a stale or
+hand-edited baseline reads as an infra failure instead of the real
+problem. Schema v4 baselines (no "measuredInstructions" in the
+top-level host block) are accepted — only the fields actually
+compared are required. A baseline whose hostMips is zero or missing
+is reported as a failure in its own right: a zero denominator would
+otherwise hide an arbitrarily large regression.
+
+Local use against the committed repo-root baseline:
 
   ./build/bench/bench_throughput --json /tmp/bench_now.json
   python3 tools/perf_diff.py BENCH_throughput.json /tmp/bench_now.json
@@ -32,23 +39,52 @@ import sys
 
 def host_runs(path):
     """(label -> run host block, top-level host block or None)."""
-    with open(path) as f:
-        d = json.load(f)
-    if d.get("schemaVersion", 0) < 4:
+    try:
+        with open(path) as f:
+            d = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"{path}: cannot read report: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"{path}: not valid JSON: {e}")
+    if not isinstance(d, dict):
+        raise SystemExit(f"{path}: report is not a JSON object")
+    version = d.get("schemaVersion", 0)
+    if not isinstance(version, int) or version < 4:
         raise SystemExit(
-            f"{path}: schemaVersion {d.get('schemaVersion')!r} has no "
-            f"host blocks (need v4); regenerate with bench_throughput")
+            f"{path}: schemaVersion {version!r} has no "
+            f"host blocks (need v4+); regenerate with bench_throughput")
     runs = {}
     for run in d.get("runs", []):
-        if "host" in run:
+        if "host" in run and isinstance(run.get("label"), str):
             runs[run["label"]] = run["host"]
     if not runs:
         raise SystemExit(f"{path}: no run carries a host block")
-    return runs, d.get("host")
+    host = d.get("host")
+    return runs, host if isinstance(host, dict) else None
+
+
+def field(block, key, where):
+    """A required numeric field; missing/NaN-shaped values are a
+    clean fatal, not a KeyError traceback."""
+    v = block.get(key) if isinstance(block, dict) else None
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        raise SystemExit(
+            f"{where}: missing or non-numeric {key!r} (got {v!r}); "
+            f"regenerate the report with a current bench_throughput")
+    return v
 
 
 def pct_change(base, cur):
-    return 100.0 * (cur - base) / base if base else 0.0
+    """Percent change, or None when the baseline is not positive
+    (the caller decides whether a zero baseline is itself a
+    failure; silently reporting 0.0% would mask it)."""
+    if base <= 0:
+        return None
+    return 100.0 * (cur - base) / base
+
+
+def fmt_pct(pct):
+    return f"{pct:>+8.1f}" if pct is not None else f"{'n/a':>8}"
 
 
 def main():
@@ -69,24 +105,40 @@ def main():
           f"{'dMIPS%':>8}  {'base RSS':>9} {'cur RSS':>9} {'dRSS%':>8}")
 
     failures = []
+    mib = 1024.0 * 1024.0
     for label in sorted(base.keys() | cur.keys()):
         if label not in base or label not in cur:
             where = "baseline" if label in base else "current"
             print(f"{label:<{width}}  (only in {where})")
             continue
         b, c = base[label], cur[label]
-        d_mips = pct_change(b["hostMips"], c["hostMips"])
-        d_rss = pct_change(b["peakRssBytes"], c["peakRssBytes"])
-        mib = 1024.0 * 1024.0
-        print(f"{label:<{width}}  {b['hostMips']:>10.2f} "
-              f"{c['hostMips']:>10.2f} {d_mips:>+8.1f}  "
-              f"{b['peakRssBytes'] / mib:>8.1f}M "
-              f"{c['peakRssBytes'] / mib:>8.1f}M {d_rss:>+8.1f}")
-        if d_mips < -args.max_regress:
+        b_where = f"{args.baseline}: run '{label}' host"
+        c_where = f"{args.current}: run '{label}' host"
+        b_mips = field(b, "hostMips", b_where)
+        c_mips = field(c, "hostMips", c_where)
+        b_rss = field(b, "peakRssBytes", b_where)
+        c_rss = field(c, "peakRssBytes", c_where)
+        d_mips = pct_change(b_mips, c_mips)
+        d_rss = pct_change(b_rss, c_rss)
+        print(f"{label:<{width}}  {b_mips:>10.2f} "
+              f"{c_mips:>10.2f} {fmt_pct(d_mips)}  "
+              f"{b_rss / mib:>8.1f}M "
+              f"{c_rss / mib:>8.1f}M {fmt_pct(d_rss)}")
+        if d_mips is None:
+            failures.append(
+                f"{label}: baseline hostMips is {b_mips!r}; a "
+                f"non-positive baseline cannot gate regressions — "
+                f"regenerate the baseline")
+        elif d_mips < -args.max_regress:
             failures.append(
                 f"{label}: host-MIPS fell {-d_mips:.1f}% "
                 f"(limit {args.max_regress:.1f}%)")
-        if d_rss > args.max_rss_regress:
+        if d_rss is None:
+            if c_rss > 0:
+                failures.append(
+                    f"{label}: baseline peakRssBytes is {b_rss!r} "
+                    f"but current is {c_rss}; regenerate the baseline")
+        elif d_rss > args.max_rss_regress:
             failures.append(
                 f"{label}: peak RSS grew {d_rss:.1f}% "
                 f"(limit {args.max_rss_regress:.1f}%)")
@@ -94,13 +146,20 @@ def main():
     # Whole-process peak RSS: the memory cost of everything the bench
     # did, including work outside any measured run's window.
     if base_host and cur_host:
-        mib = 1024.0 * 1024.0
-        d_rss = pct_change(base_host["peakRssBytes"],
-                           cur_host["peakRssBytes"])
+        b_rss = field(base_host, "peakRssBytes",
+                      f"{args.baseline}: top-level host")
+        c_rss = field(cur_host, "peakRssBytes",
+                      f"{args.current}: top-level host")
+        d_rss = pct_change(b_rss, c_rss)
         print(f"{'<process>':<{width}}  {'':>10} {'':>10} {'':>8}  "
-              f"{base_host['peakRssBytes'] / mib:>8.1f}M "
-              f"{cur_host['peakRssBytes'] / mib:>8.1f}M {d_rss:>+8.1f}")
-        if d_rss > args.max_rss_regress:
+              f"{b_rss / mib:>8.1f}M "
+              f"{c_rss / mib:>8.1f}M {fmt_pct(d_rss)}")
+        if d_rss is None:
+            if c_rss > 0:
+                failures.append(
+                    f"<process>: baseline peakRssBytes is {b_rss!r} "
+                    f"but current is {c_rss}; regenerate the baseline")
+        elif d_rss > args.max_rss_regress:
             failures.append(
                 f"<process>: peak RSS grew {d_rss:.1f}% "
                 f"(limit {args.max_rss_regress:.1f}%)")

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Regression tests for perf_diff.py (run by ctest).
+
+The perf gate is a hard CI step: a malformed or stale baseline must
+produce a one-line diagnostic and a deliberate exit status, never a
+Python traceback (which reads as infra failure) and never a silent
+pass (a zero baseline MIPS used to disappear into a 0.0% "change").
+Everything here drives the script as a subprocess, exactly as CI does.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+PERF_DIFF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "perf_diff.py")
+
+
+def report(version=5, runs=None, host=None):
+    """A minimal report shaped like bench_throughput's output."""
+    d = {"schemaVersion": version, "benchmark": "bench_throughput",
+         "runs": runs if runs is not None else []}
+    if host is not None:
+        d["host"] = host
+    return d
+
+
+def run_block(mips=100.0, rss=50 << 20):
+    return {"wallSeconds": 1.0, "instructions": 1000000,
+            "hostMips": mips, "peakRssBytes": rss}
+
+
+class PerfDiffTest(unittest.TestCase):
+    def diff(self, baseline, current, *extra):
+        with tempfile.TemporaryDirectory() as tmp:
+            bp = os.path.join(tmp, "base.json")
+            cp = os.path.join(tmp, "cur.json")
+            with open(bp, "w") as f:
+                json.dump(baseline, f)
+            with open(cp, "w") as f:
+                json.dump(current, f)
+            return subprocess.run(
+                [sys.executable, PERF_DIFF, *extra, bp, cp],
+                capture_output=True, text=True)
+
+    def assertCleanFailure(self, proc, needle):
+        """Non-zero exit, the diagnostic present, no traceback."""
+        out = proc.stdout + proc.stderr
+        self.assertNotEqual(proc.returncode, 0, out)
+        self.assertIn(needle, out)
+        self.assertNotIn("Traceback", out)
+
+    def test_healthy_pair_passes(self):
+        base = report(runs=[{"label": "a", "host": run_block()}])
+        cur = report(runs=[{"label": "a", "host": run_block(99.0)}])
+        proc = self.diff(base, cur)
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("no perf regressions", proc.stdout)
+
+    def test_real_regression_still_caught(self):
+        base = report(runs=[{"label": "a", "host": run_block(100.0)}])
+        cur = report(runs=[{"label": "a", "host": run_block(40.0)}])
+        proc = self.diff(base, cur, "--max-regress", "10")
+        self.assertCleanFailure(proc, "host-MIPS fell")
+
+    def test_missing_host_mips_is_clean_fatal(self):
+        block = run_block()
+        del block["hostMips"]
+        base = report(runs=[{"label": "a", "host": block}])
+        cur = report(runs=[{"label": "a", "host": run_block()}])
+        proc = self.diff(base, cur)
+        self.assertCleanFailure(proc, "hostMips")
+
+    def test_missing_rss_is_clean_fatal(self):
+        block = run_block()
+        del block["peakRssBytes"]
+        base = report(runs=[{"label": "a", "host": run_block()}])
+        cur = report(runs=[{"label": "a", "host": block}])
+        proc = self.diff(base, cur)
+        self.assertCleanFailure(proc, "peakRssBytes")
+
+    def test_zero_baseline_mips_is_a_failure_not_a_pass(self):
+        # 100.0 -> 0.0 baseline denominators used to render as a
+        # 0.0% "change" and pass the gate silently.
+        base = report(runs=[{"label": "a", "host": run_block(0.0)}])
+        cur = report(runs=[{"label": "a", "host": run_block(100.0)}])
+        proc = self.diff(base, cur)
+        self.assertCleanFailure(proc, "non-positive baseline")
+
+    def test_v4_baseline_without_measured_instructions(self):
+        # Schema v4 top-level host blocks predate
+        # "measuredInstructions"; only compared fields are required.
+        base = report(version=4,
+                      runs=[{"label": "a", "host": run_block()}],
+                      host={"peakRssBytes": 60 << 20})
+        cur = report(runs=[{"label": "a", "host": run_block()}],
+                     host={"peakRssBytes": 61 << 20,
+                           "measuredInstructions": 123,
+                           "hostMips": 10.0})
+        proc = self.diff(base, cur)
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("<process>", proc.stdout)
+
+    def test_pre_host_schema_is_clean_fatal(self):
+        base = report(version=3,
+                      runs=[{"label": "a", "host": run_block()}])
+        cur = report(runs=[{"label": "a", "host": run_block()}])
+        proc = self.diff(base, cur)
+        self.assertCleanFailure(proc, "schemaVersion")
+
+    def test_invalid_json_is_clean_fatal(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bp = os.path.join(tmp, "base.json")
+            cp = os.path.join(tmp, "cur.json")
+            with open(bp, "w") as f:
+                f.write("{not json")
+            with open(cp, "w") as f:
+                json.dump(report(
+                    runs=[{"label": "a", "host": run_block()}]), f)
+            proc = subprocess.run(
+                [sys.executable, PERF_DIFF, bp, cp],
+                capture_output=True, text=True)
+        self.assertCleanFailure(proc, "not valid JSON")
+
+    def test_disjoint_runs_are_reported_not_fatal(self):
+        base = report(runs=[{"label": "a", "host": run_block()},
+                            {"label": "b", "host": run_block()}])
+        cur = report(runs=[{"label": "a", "host": run_block()},
+                           {"label": "c", "host": run_block()}])
+        proc = self.diff(base, cur)
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("only in baseline", proc.stdout)
+        self.assertIn("only in current", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
