@@ -20,13 +20,44 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace csim {
+
+/**
+ * Hook invoked after a panic/fatal message is printed, before the
+ * process dies. The flight recorder (src/obs/flight_recorder) installs
+ * itself here so every CSIM_PANIC/CSIM_FATAL dumps the last ledger
+ * events and the exact replay command. Null (the default) is a no-op,
+ * so code paths without a recorder behave exactly as before.
+ */
+using CrashHook = void (*)(const char *reason);
+
+inline std::atomic<CrashHook> &
+crashHookRef()
+{
+    static std::atomic<CrashHook> hook{nullptr};
+    return hook;
+}
+
+inline void
+setCrashHook(CrashHook hook)
+{
+    crashHookRef().store(hook, std::memory_order_relaxed);
+}
+
+inline void
+invokeCrashHook(const char *reason)
+{
+    if (CrashHook hook = crashHookRef().load(std::memory_order_relaxed))
+        hook(reason);
+}
 
 [[noreturn]] inline void
 panicImpl(const char *file, int line, const char *msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    invokeCrashHook(msg);
     std::abort();
 }
 
@@ -34,6 +65,7 @@ panicImpl(const char *file, int line, const char *msg)
 fatalImpl(const char *file, int line, const char *msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    invokeCrashHook(msg);
     std::exit(1);
 }
 
@@ -53,10 +85,11 @@ panicFmtImpl(const char *file, int line, const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    std::fprintf(stderr, "panic: ");
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, " (%s:%d)\n", file, line);
+    char msg[512];
+    std::vsnprintf(msg, sizeof(msg), fmt, ap);
     va_end(ap);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    invokeCrashHook(msg);
     std::abort();
 }
 
@@ -69,10 +102,11 @@ fatalFmtImpl(const char *file, int line, const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    std::fprintf(stderr, "fatal: ");
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, " (%s:%d)\n", file, line);
+    char msg[512];
+    std::vsnprintf(msg, sizeof(msg), fmt, ap);
     va_end(ap);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    invokeCrashHook(msg);
     std::exit(1);
 }
 
@@ -125,6 +159,45 @@ logLevelName(LogLevel level)
       case LogLevel::Trace: return "trace";
       default: return "?";
     }
+}
+
+/**
+ * Parse a diagnostic level from a flag or environment variable: either
+ * a level name ("error", "warn", "info", "debug", "trace") or its
+ * numeric value in [0, 4]. Anything else — empty, mixed case garbage,
+ * out-of-range digits, trailing junk — is fatal, quoting `source`
+ * (e.g. "CSIM_LOG") and the offending value, in the same strict style
+ * as parseThreadCount: a typo must never silently fall back to the
+ * default and swallow the diagnostics the user asked for.
+ */
+inline LogLevel
+parseLogLevel(const char *value, const char *source)
+{
+    if (value != nullptr && value[0] != '\0') {
+        for (int lv = 0; lv <= static_cast<int>(LogLevel::Trace); ++lv) {
+            const LogLevel level = static_cast<LogLevel>(lv);
+            if (std::strcmp(value, logLevelName(level)) == 0)
+                return level;
+            if (value[0] == '0' + lv && value[1] == '\0')
+                return level;
+        }
+    }
+    fatalFmtImpl(__FILE__, __LINE__,
+                 "%s: log level '%s' is not a level name "
+                 "(error|warn|info|debug|trace) or digit in [0, 4]",
+                 source, value ? value : "");
+}
+
+/**
+ * Apply the CSIM_LOG environment variable to the global level. Unset
+ * keeps the default; a malformed value is fatal (see parseLogLevel).
+ * Called once at startup by every bench binary (BenchContext).
+ */
+inline void
+initLogLevelFromEnv()
+{
+    if (const char *env = std::getenv("CSIM_LOG"))
+        setLogLevel(parseLogLevel(env, "CSIM_LOG"));
 }
 
 inline void

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "harness/trace_cache.hh"
 #include "obs/host_prof.hh"
@@ -29,6 +31,39 @@ policyName(PolicyKind kind)
       default:
         CSIM_PANIC("policyName: bad kind");
     }
+}
+
+std::string
+configDigest(const ExperimentConfig &cfg)
+{
+    std::ostringstream os;
+    os << "inst=" << cfg.instructions << ";seeds=";
+    for (std::uint64_t seed : cfg.seeds)
+        os << seed << ',';
+    os << ";warm=" << cfg.warmupRuns << ";chunk=" << cfg.trainChunk
+       << ";stall=" << cfg.stallThreshold << ";loc=" << cfg.locLevels
+       << ";sim=" << cfg.simOptions.collectIlp << ','
+       << cfg.simOptions.legacyStep << ','
+       << cfg.simOptions.ilpMaxAvailable << ','
+       << cfg.simOptions.maxCpi << ";phases=";
+    for (const PhaseSpec &phase : cfg.simOptions.phases)
+        os << phase.name << ':' << phase.instructions << ':'
+           << phase.isWarmup << ',';
+    os << ";verify=" << cfg.verify.checker << ',' << cfg.verify.oracle
+       << ',' << cfg.verify.oracleRelTol << ','
+       << cfg.verify.panicOnViolation
+       << ";profile=" << cfg.profile.enabled << ','
+       << cfg.profile.intervalCycles << ','
+       << cfg.profile.scoreCriticality
+       << ";adaptive=" << cfg.adaptive.enabled << ','
+       << cfg.adaptive.intervalCycles << ','
+       << cfg.adaptive.reactionIntervals << ','
+       << cfg.adaptive.minDwellIntervals << ','
+       << cfg.adaptive.revertOnRegression << ','
+       << cfg.adaptive.regressionTolerance
+       << ";regions=" << cfg.regions << ',' << cfg.regionLen << ','
+       << cfg.regionWarmup;
+    return fnvHex(fnv1a64(os.str()));
 }
 
 namespace {

@@ -143,6 +143,17 @@ struct ExperimentConfig
     std::uint64_t regionWarmup = 0;
 };
 
+/**
+ * FNV-1a digest (16 hex digits) of an ExperimentConfig's canonical
+ * rendering: every deterministic knob — instructions, seeds, warmup,
+ * training, thresholds, verify/profile/adaptive/region settings, sim
+ * options and phase specs — in a fixed order. Ledger jobBegin events
+ * carry this so a replayed run can prove it executed the same declared
+ * experiment. Pointer-valued observer hooks are excluded (they do not
+ * describe the experiment, only its instrumentation).
+ */
+std::string configDigest(const ExperimentConfig &cfg);
+
 /** Seed-aggregated outcome of a (workload, machine, policy) cell. */
 struct AggregateResult
 {

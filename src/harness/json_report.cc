@@ -11,7 +11,9 @@
 #include "harness/sweep.hh"
 #include "harness/trace_cache.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/host_prof.hh"
+#include "obs/run_ledger.hh"
 
 namespace csim {
 
@@ -211,7 +213,9 @@ usage(const std::string &benchmark, const char *bad_arg)
                  "[--seeds a,b,c] [--threads N] [--check]\n"
                  "       [--profile] [--profile-interval N] "
                  "[--adaptive] [--adaptive-interval N]\n"
-                 "       [--trace-out <path>] [--stats-filter p1,p2]\n"
+                 "       [--trace-out <path>] [--ledger-out <path>] "
+                 "[--heartbeat-ms N]\n"
+                 "       [--stats-filter p1,p2]\n"
                  "       [--legacy-step] [--regions K] "
                  "[--region-len N] [--warmup N]\n",
                  benchmark.c_str());
@@ -240,6 +244,23 @@ parseSeedList(const std::string &benchmark, const std::string &arg)
         pos = comma + 1;
     }
     return seeds;
+}
+
+/**
+ * Fatal unless `path` can be created and written right now: an output
+ * flag pointing into a missing or read-only directory must fail at
+ * startup, not after the sweep has run for minutes (same strictness
+ * contract as parseThreadCount). The probe opens in append mode so an
+ * existing file's contents survive the check.
+ */
+void
+validateWritablePath(const std::string &benchmark, const char *flag,
+                     const std::string &path)
+{
+    std::ofstream probe(path, std::ios::app);
+    if (!probe)
+        CSIM_FATAL_F("%s: %s path '%s' is not writable",
+                     benchmark.c_str(), flag, path.c_str());
 }
 
 std::vector<std::string>
@@ -312,6 +333,18 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
         } else if (arg == "--trace-out") {
             traceOutPath_ = next();
             profile_ = true;
+        } else if (arg == "--ledger-out") {
+            ledgerPath_ = next();
+        } else if (arg == "--heartbeat-ms") {
+            const std::string v = next();
+            char *end = nullptr;
+            const unsigned long long ms =
+                std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || ms == 0 ||
+                ms > 3600u * 1000u)
+                CSIM_FATAL_F("%s: bad --heartbeat-ms '%s'",
+                             benchmark_.c_str(), v.c_str());
+            heartbeatMs_ = static_cast<unsigned>(ms);
         } else if (arg == "--stats-filter") {
             statsFilter_ = parsePrefixList(next());
         } else if (arg == "--regions") {
@@ -350,6 +383,25 @@ BenchContext::BenchContext(std::string benchmark, int argc, char **argv)
     if (regions_ != 0 && regionLen_ == 0)
         CSIM_FATAL_F("%s: --regions requires --region-len",
                      benchmark_.c_str());
+
+    // Strict env handling: a malformed CSIM_LOG is fatal, never a
+    // silent fall-back to the default level.
+    initLogLevelFromEnv();
+
+    // Output paths must fail now, not after the sweep has run.
+    cmdline_ = replayCommandLine(argc, argv);
+    if (!traceOutPath_.empty())
+        validateWritablePath(benchmark_, "--trace-out", traceOutPath_);
+    if (!ledgerPath_.empty()) {
+        validateWritablePath(benchmark_, "--ledger-out", ledgerPath_);
+        ledger_ = std::make_unique<RunLedger>(
+            ledgerPath_, benchmark_, collectProvenance(cmdline_));
+        ledger_->startHeartbeat(heartbeatMs_);
+        // Crashes dump the last ledger events, each worker's sim
+        // context and the replay command to stderr and to a .crash
+        // file CI uploads as an artifact.
+        FlightRecorder::install(cmdline_, ledgerPath_ + ".crash");
+    }
 }
 
 BenchContext::~BenchContext() = default;
@@ -371,9 +423,11 @@ BenchContext::traceCache()
 SweepRunner &
 BenchContext::runner()
 {
-    if (!runner_)
+    if (!runner_) {
         runner_ =
             std::make_unique<SweepRunner>(threads(), &traceCache());
+        runner_->setLedger(ledger_.get());
+    }
     return *runner_;
 }
 
@@ -641,6 +695,21 @@ BenchContext::finish()
         std::fprintf(stderr, "wrote %s\n", traceOutPath_.c_str());
     }
 
+    // Close out the ledger stream: trace content identity, the bench
+    // footer, and the end of heartbeats. The RunLedger itself stays
+    // alive (the report's provenance block reuses it conceptually, and
+    // late panics still flight-record).
+    if (ledger_) {
+        if (cache_)
+            ledger_->traceHashes(cache_->contentHashes());
+        ledger_->benchEnd(
+            grids_.size(), runs_.size(), scalars_.size(),
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+        ledger_->stopHeartbeat();
+    }
+
     if (jsonPath_.empty())
         return 0;
 
@@ -656,10 +725,35 @@ BenchContext::finish()
 
     JsonWriter w(out);
     w.beginObject();
-    w.key("schemaVersion").value(6);
+    w.key("schemaVersion").value(7);
     w.key("benchmark").value(benchmark_);
     w.key("threads").value(std::uint64_t{threads()});
     w.key("wallSeconds").value(wall);
+
+    // Provenance manifest (v7): same content as the ledger head. Only
+    // "cmdline" and "env" are invocation-specific; everything else —
+    // including "traceHashes" — is part of the deterministic region,
+    // so the cross-thread determinism checks verify that both runs
+    // simulated identically-hashed traces from the same build.
+    {
+        const Provenance prov = collectProvenance(cmdline_);
+        w.key("provenance").beginObject();
+        w.key("gitSha").value(prov.gitSha);
+        w.key("buildType").value(prov.buildType);
+        w.key("buildFlags").value(prov.buildFlags);
+        w.key("hostProf").value(prov.hostProf);
+        w.key("cmdline").value(prov.cmdline);
+        w.key("env").beginObject();
+        for (const auto &[name, v] : prov.env)
+            w.key(name).value(v);
+        w.endObject();
+        w.key("traceHashes").beginObject();
+        if (cache_)
+            for (const auto &[key, hash] : cache_->contentHashes())
+                w.key(key).value(hash);
+        w.endObject();
+        w.endObject();
+    }
 
     w.key("grids").beginArray();
     for (const FigureGrid &g : grids_)

@@ -7,20 +7,23 @@
  * binary: it parses `--json <path>`, `--instructions N`,
  * `--seeds a,b,c`, `--threads N`, `--check`, `--profile`,
  * `--profile-interval N`, `--adaptive`, `--adaptive-interval N`,
- * `--trace-out <path>`,
+ * `--trace-out <path>`, `--ledger-out <path>`, `--heartbeat-ms N`,
  * `--stats-filter p1,p2`, `--legacy-step`, `--regions K`,
  * `--region-len N` and `--warmup N`, owns the sweep runner
  * + trace cache the
- * bench executes on, collects FigureGrids, scalars and per-run
- * registry snapshots (plus interval series when profiling) while the
- * bench runs, and on finish() writes one report file with a stable
- * schema (see README "Observability"):
+ * bench executes on, wires the run ledger + crash flight recorder
+ * (src/obs) into every bench, collects FigureGrids, scalars and
+ * per-run registry snapshots (plus interval series when profiling)
+ * while the bench runs, and on finish() writes one report file with a
+ * stable schema (see README "Observability" and docs/SCHEMA.md):
  *
  *   {
- *     "schemaVersion": 6,
+ *     "schemaVersion": 7,
  *     "benchmark": "<name>",
  *     "threads": <worker thread count>,
  *     "wallSeconds": <bench wall-clock time>,
+ *     "provenance": {"gitSha", "buildType", "buildFlags", "hostProf",
+ *                    "cmdline", "env", "traceHashes"},
  *     "grids":   [{"title", "columns", "rows", "averages"}, ...],
  *     "scalars": {"<name>": <number>, ...},
  *     "runs":    [{"label": "<wl/machine/policy>",
@@ -62,11 +65,13 @@
  * whose components sum exactly to "cycles", event counts and a
  * per-cluster lane array; "mergeCount" is the number of seed runs
  * summed into the series (per-run means divide by it). Apart from
- * "threads", "wallSeconds" and the "host" blocks (wall times and
- * memory vary run to run) the report is byte-identical across thread
- * counts — including the interval series, whose seed merge happens in
- * fixed declaration order. The "host" block is absent when host
- * profiling is compiled out or disabled at runtime.
+ * "threads", "wallSeconds", the "host" blocks (wall times and memory
+ * vary run to run) and the provenance "cmdline"/"env" pair (which
+ * describe the invocation itself) the report is byte-identical across
+ * thread counts — including the interval series, whose seed merge
+ * happens in fixed declaration order, and the provenance
+ * "traceHashes". The "host" block is absent when host profiling is
+ * compiled out or disabled at runtime.
  * tools/check_bench_json.py validates this schema in CI.
  */
 
@@ -92,6 +97,7 @@ namespace csim {
 
 struct ExperimentConfig;
 struct SweepOutcome;
+class RunLedger;
 class SweepRunner;
 class TraceCache;
 
@@ -193,6 +199,14 @@ class BenchContext
     /** Chrome trace output path ("" when --trace-out absent). */
     const std::string &traceOutPath() const { return traceOutPath_; }
 
+    /** NDJSON run-ledger path ("" when --ledger-out absent). */
+    const std::string &ledgerPath() const { return ledgerPath_; }
+
+    /** The live run ledger (null without --ledger-out). Already wired
+     *  into runner(); benches with custom phases may emit their own
+     *  events through it. */
+    RunLedger *ledger() { return ledger_.get(); }
+
     /** Worker threads (--threads, CSIM_THREADS, hw concurrency). */
     unsigned threads() const;
 
@@ -255,6 +269,9 @@ class BenchContext
     std::string benchmark_;
     std::string jsonPath_;
     std::string traceOutPath_;            ///< "": no Chrome trace
+    std::string ledgerPath_;              ///< "": no run ledger
+    std::string cmdline_;                 ///< shell-quoted replay command
+    unsigned heartbeatMs_ = 1000;         ///< --heartbeat-ms period
     std::uint64_t instructions_ = 0;      ///< 0: keep bench default
     std::vector<std::uint64_t> seeds_;    ///< empty: keep bench default
     unsigned threadsArg_ = 0;             ///< 0: resolve automatically
@@ -271,6 +288,7 @@ class BenchContext
     std::vector<std::string> statsFilter_;
     std::chrono::steady_clock::time_point start_;
     std::unique_ptr<TraceCache> cache_;
+    std::unique_ptr<RunLedger> ledger_;
     std::unique_ptr<SweepRunner> runner_;
     std::vector<FigureGrid> grids_;
     std::vector<RunEntry> runs_;

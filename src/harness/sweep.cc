@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/host_prof.hh"
+#include "obs/run_ledger.hh"
 
 namespace csim {
 
@@ -181,6 +184,15 @@ SweepRunner::run(const SweepSpec &spec)
         for (std::uint64_t seed : spec.cellConfig(c).seeds)
             jobs.push_back(Job{c, seed});
 
+    const std::uint64_t sweepIdx =
+        ledger_ ? ledger_->nextSweepIndex() : 0;
+    if (ledger_) {
+        ledger_->progress().jobsTotal.fetch_add(
+            jobs.size(), std::memory_order_relaxed);
+        ledger_->sweepBegin(sweepIdx, spec.cells.size(), jobs.size(),
+                            threads_);
+    }
+
     std::vector<AggregateResult> jobResults(jobs.size());
     {
         HOST_PROF_SCOPE("sweep.jobs");
@@ -188,6 +200,18 @@ SweepRunner::run(const SweepSpec &spec)
             const Job &job = jobs[i];
             const SweepCell &cell = spec.cells[job.cell];
             const ExperimentConfig &cfg = spec.cellConfig(job.cell);
+            const std::string label = cell.label();
+
+            if (ledger_)
+                ledger_->jobBegin(sweepIdx, label, job.seed,
+                                  configDigest(cfg));
+            if (FlightRecorder::installed()) {
+                char ctx[128];
+                std::snprintf(ctx, sizeof(ctx),
+                              "cell=%s seed=%llu", label.c_str(),
+                              static_cast<unsigned long long>(job.seed));
+                FlightRecorder::setContext(ctx);
+            }
 
             WorkloadConfig wcfg;
             wcfg.targetInstructions = cfg.instructions;
@@ -201,6 +225,17 @@ SweepRunner::run(const SweepSpec &spec)
                                     cfg)
                     : runIdealCell(*trace, cell.machine, cfg,
                                    cell.priority);
+
+            if (ledger_) {
+                const AggregateResult &res = jobResults[i];
+                ledger_->progress().jobsDone.fetch_add(
+                    1, std::memory_order_relaxed);
+                ledger_->progress().instructionsDone.fetch_add(
+                    res.instructions, std::memory_order_relaxed);
+                ledger_->jobEnd(sweepIdx, label, job.seed,
+                                res.instructions, res.cycles,
+                                statsDigest(res.stats));
+            }
         });
     }
 
@@ -217,10 +252,26 @@ SweepRunner::run(const SweepSpec &spec)
             out.results[jobs[i].cell].merge(jobResults[i]);
     }
 
+    // cellEnd events are emitted from this single-threaded loop, so
+    // unlike the concurrent jobBegin/jobEnd stream their file order is
+    // itself deterministic (declaration order).
+    if (ledger_) {
+        for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+            const AggregateResult &res = out.results[c];
+            ledger_->cellEnd(sweepIdx, spec.cells[c].label(),
+                             spec.cellConfig(c).seeds.size(),
+                             res.instructions, res.cycles,
+                             statsDigest(res.stats));
+        }
+    }
+
     out.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (ledger_)
+        ledger_->sweepEnd(sweepIdx, spec.cells.size(), jobs.size(),
+                          out.wallSeconds);
     return out;
 }
 

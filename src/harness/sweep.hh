@@ -32,6 +32,8 @@
 
 namespace csim {
 
+class RunLedger;
+
 /**
  * Parse a worker-thread count from a flag or environment variable:
  * decimal digits only, in [1, 65536]. Anything else — empty, signed,
@@ -130,6 +132,16 @@ class SweepRunner
     unsigned threads() const { return threads_; }
     TraceCache &cache() { return cache_ ? *cache_ : ownCache_; }
 
+    /**
+     * Attach a run ledger (may be null to detach). Every subsequent
+     * run() emits sweepBegin / jobBegin / jobEnd / cellEnd / sweepEnd
+     * events into it and keeps its progress counters live for the
+     * heartbeat sampler. Workers also publish a "cell=... seed=..."
+     * context line to the crash flight recorder. The ledger must
+     * outlive the runner's run() calls.
+     */
+    void setLedger(RunLedger *ledger) { ledger_ = ledger; }
+
     /** Execute every (cell, seed) job and merge deterministically. */
     SweepOutcome run(const SweepSpec &spec);
 
@@ -148,6 +160,7 @@ class SweepRunner
     unsigned threads_;
     TraceCache *cache_;
     TraceCache ownCache_;
+    RunLedger *ledger_ = nullptr;
 };
 
 } // namespace csim

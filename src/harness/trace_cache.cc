@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "obs/host_prof.hh"
 #include "trace/trace_soa.hh"
@@ -43,15 +44,7 @@ cacheKey(const std::string &workload, const WorkloadConfig &cfg,
 std::string
 spillFileName(const std::string &key)
 {
-    std::uint64_t h = 14695981039346656037ull;
-    for (unsigned char c : key) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%016llx.trc2",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return fnvHex(fnv1a64(key)) + ".trc2";
 }
 
 std::size_t
@@ -344,6 +337,21 @@ TraceCache::timeSnapshot() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return timeRegistry_.snapshot();
+}
+
+std::vector<std::pair<std::string, std::string>>
+TraceCache::contentHashes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::string>> hashes;
+    hashes.reserve(slots_.size() + spilled_.size());
+    for (const auto &[key, slot] : slots_)
+        hashes.emplace_back(key, fnvHex(fnv1a64(key)));
+    for (const auto &[key, entry] : spilled_)
+        if (!slots_.count(key))
+            hashes.emplace_back(key, fnvHex(fnv1a64(key)));
+    std::sort(hashes.begin(), hashes.end());
+    return hashes;
 }
 
 } // namespace csim

@@ -34,6 +34,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/stats_registry.hh"
 #include "workloads/registry.hh"
@@ -87,6 +89,16 @@ class TraceCache
     /** Frozen view of the host-latency registry ("traceCache.time.*").
      *  Nondeterministic wall times; report under "host" only. */
     StatsSnapshot timeSnapshot() const;
+
+    /**
+     * Content identity of every trace this cache has seen (held or
+     * spilled), as key-sorted (cacheKey, fnv1a64 hex) pairs — the same
+     * FNV-1a digest the spill files are named by. The key encodes every
+     * deterministic build input, so the hash commits to the trace
+     * content; provenance manifests embed this list.
+     */
+    std::vector<std::pair<std::string, std::string>>
+    contentHashes() const;
 
   private:
     struct Slot

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Crash flight recorder: a lock-free per-thread ring buffer of the
+ * most recent ledger events (plus a sticky "what am I simulating"
+ * context line per thread), dumped together with the exact replay
+ * command when the process dies — via CSIM_PANIC / CSIM_FATAL (through
+ * the logging crash hook) or a fatal signal (SIGSEGV, SIGBUS, SIGFPE,
+ * SIGILL, SIGABRT).
+ *
+ * Design constraints:
+ *  - Recording must be cheap and safe on sweep worker threads: each
+ *    thread owns one ring slot claimed by CAS and writes it with plain
+ *    stores; no locks, no allocation after the slot is claimed.
+ *  - Dumping must work from a signal handler: the dump path renders
+ *    each line into a stack buffer with snprintf and emits it with
+ *    write(2) — no heap, no stdio locks, no iostreams.
+ *  - Installing is optional and reversible: without install() the
+ *    recorder costs one relaxed atomic load per note() and the crash
+ *    paths behave exactly as before.
+ *
+ * The dump goes to stderr and, when a dump path was configured, is
+ * appended to that file so CI can upload it as an artifact.
+ */
+
+#ifndef CSIM_OBS_FLIGHT_RECORDER_HH
+#define CSIM_OBS_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <string>
+
+namespace csim {
+
+class FlightRecorder
+{
+  public:
+    /** Events retained per thread (the "last N" of the dump). */
+    static constexpr std::size_t ringEntries = 32;
+    /** Bytes retained per event (longer lines are truncated). */
+    static constexpr std::size_t entryBytes = 240;
+    /** Concurrent threads with live rings (slots recycle on thread
+     *  exit; threads beyond this record nothing, losing context but
+     *  never correctness). */
+    static constexpr std::size_t maxThreads = 64;
+
+    /**
+     * Arm the recorder: remember the replay command and optional dump
+     * file, install the logging crash hook and the fatal signal
+     * handlers. Idempotent; the latest replay command wins.
+     */
+    static void install(const std::string &replay_command,
+                        const std::string &dump_path = "");
+
+    /** True between install() and reset(). */
+    static bool installed();
+
+    /** Uninstall hooks and clear every ring (tests). */
+    static void reset();
+
+    /**
+     * Record one line into the calling thread's ring. No-op when not
+     * installed. Lock-free; truncates to entryBytes - 1 chars.
+     */
+    static void note(const char *text);
+
+    /** Sticky per-thread context line ("cell=... seed=..."),
+     *  overwritten in place and shown once per thread in the dump. */
+    static void setContext(const char *text);
+
+    /**
+     * Render every live ring, each thread's context and the replay
+     * command to stderr (and the dump file when configured) using only
+     * async-signal-safe primitives. Safe to call from the crash hook
+     * and from signal handlers; a second concurrent dump is dropped.
+     */
+    static void dump(const char *reason);
+
+    /** The same rendering as dump(), returned as a string instead of
+     *  written out — the testable, non-crash inspection path. */
+    static std::string dumpToString(const char *reason);
+};
+
+} // namespace csim
+
+#endif // CSIM_OBS_FLIGHT_RECORDER_HH

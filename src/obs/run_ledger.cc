@@ -1,0 +1,461 @@
+#include "obs/run_ledger.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/fnv.hh"
+#include "common/logging.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/host_prof.hh"
+
+namespace csim {
+
+namespace {
+
+/**
+ * Minimal append-to-string JSON builder for ledger payloads. The
+ * harness's JsonWriter lives above this library in the link order, and
+ * ledger lines are flat enough that a few helpers beat a dependency
+ * inversion. Rendering is canonical: fixed key order at each call
+ * site, %.12g doubles (the JsonWriter convention), deterministic
+ * escaping — so equal payload values imply equal payload bytes.
+ */
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendKey(std::string &out, const char *key)
+{
+    if (out.back() != '{' && out.back() != '[')
+        out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+}
+
+void
+appendField(std::string &out, const char *key, const std::string &v)
+{
+    appendKey(out, key);
+    appendEscaped(out, v);
+}
+
+void
+appendField(std::string &out, const char *key, std::uint64_t v)
+{
+    appendKey(out, key);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendField(std::string &out, const char *key, double v)
+{
+    appendKey(out, key);
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out += buf;
+}
+
+void
+appendField(std::string &out, const char *key, bool v)
+{
+    appendKey(out, key);
+    out += v ? "true" : "false";
+}
+
+std::string
+provenanceJson(const std::string &benchmark, const Provenance &prov)
+{
+    std::string p = "{";
+    appendField(p, "benchmark", benchmark);
+    appendField(p, "ledgerSchemaVersion",
+                std::uint64_t{ledgerSchemaVersion});
+    appendKey(p, "provenance");
+    p += '{';
+    appendField(p, "gitSha", prov.gitSha);
+    appendField(p, "buildType", prov.buildType);
+    appendField(p, "buildFlags", prov.buildFlags);
+    appendField(p, "hostProf", prov.hostProf);
+    appendField(p, "cmdline", prov.cmdline);
+    appendKey(p, "env");
+    p += '{';
+    for (const auto &[name, value] : prov.env)
+        appendField(p, name.c_str(), value);
+    p += "}}}";
+    return p;
+}
+
+} // anonymous namespace
+
+Provenance
+collectProvenance(const std::string &cmdline)
+{
+    Provenance prov;
+#ifdef CSIM_GIT_SHA
+    prov.gitSha = CSIM_GIT_SHA;
+#else
+    prov.gitSha = "unknown";
+#endif
+#ifdef CSIM_BUILD_TYPE
+    prov.buildType = CSIM_BUILD_TYPE;
+#else
+    prov.buildType = "unknown";
+#endif
+#ifdef CSIM_BUILD_FLAGS
+    prov.buildFlags = CSIM_BUILD_FLAGS;
+#else
+    prov.buildFlags = "";
+#endif
+    prov.hostProf = HostProf::compiledIn();
+    prov.cmdline = cmdline;
+    // The fixed list of environment knobs the simulator honors; an
+    // unset variable is omitted (set-to-empty is a real override).
+    for (const char *name :
+         {"CSIM_HOST_PROF", "CSIM_LOG", "CSIM_STATS_FILTER",
+          "CSIM_THREADS"}) {
+        if (const char *value = std::getenv(name))
+            prov.env.emplace_back(name, value);
+    }
+    return prov;
+}
+
+std::string
+replayCommandLine(int argc, char **argv)
+{
+    std::string cmd;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0)
+            cmd += ' ';
+        const std::string arg = argv[i];
+        const bool plain =
+            !arg.empty() &&
+            arg.find_first_not_of(
+                "abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                "0123456789._,/=+:@%-") == std::string::npos;
+        if (plain) {
+            cmd += arg;
+        } else {
+            cmd += '\'';
+            for (char c : arg) {
+                if (c == '\'')
+                    cmd += "'\\''";
+                else
+                    cmd += c;
+            }
+            cmd += '\'';
+        }
+    }
+    return cmd;
+}
+
+std::string
+statsDigest(const StatsSnapshot &snap)
+{
+    std::uint64_t h = fnv1aOffset;
+    char buf[64];
+    for (const auto &[name, value] : snap.entries()) {
+        h = fnv1a64(name, h);
+        std::snprintf(buf, sizeof(buf), "=%d:%.12g;",
+                      static_cast<int>(value.kind), value.value);
+        h = fnv1a64(buf, h);
+        for (std::uint64_t b : value.buckets) {
+            std::snprintf(buf, sizeof(buf), "%" PRIu64 ",", b);
+            h = fnv1a64(buf, h);
+        }
+    }
+    return fnvHex(h);
+}
+
+RunLedger::RunLedger(std::string path, std::string benchmark,
+                     const Provenance &provenance)
+    : path_(std::move(path)), benchmark_(std::move(benchmark)),
+      out_(path_, std::ios::trunc),
+      start_(std::chrono::steady_clock::now())
+{
+    if (!out_)
+        CSIM_FATAL_F("%s: cannot open --ledger-out path '%s'",
+                     benchmark_.c_str(), path_.c_str());
+    event("head", provenanceJson(benchmark_, provenance));
+}
+
+RunLedger::~RunLedger()
+{
+    stopHeartbeat();
+}
+
+double
+RunLedger::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+void
+RunLedger::event(const char *kind, const std::string &payload_json,
+                 const std::string &wall_json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string line = "{";
+    appendField(line, "ledger", std::uint64_t{ledgerSchemaVersion});
+    appendField(line, "seq", seq_++);
+    appendField(line, "kind", std::string(kind));
+    appendKey(line, "wall");
+    // Every event is stamped with its wall offset; extra wall fields
+    // (heartbeat samples, sweep wall times) splice in after it.
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "{\"tMs\":%.12g",
+                      elapsedSeconds() * 1e3);
+        line += buf;
+        if (!wall_json.empty()) {
+            CSIM_ASSERT(wall_json.front() == '{' &&
+                        wall_json.back() == '}');
+            if (wall_json.size() > 2) {
+                line += ',';
+                line.append(wall_json, 1, wall_json.size() - 2);
+            }
+        }
+        line += '}';
+    }
+    appendKey(line, "payload");
+    CSIM_ASSERT(!payload_json.empty() && payload_json.front() == '{');
+    line += payload_json;
+    line += '}';
+
+    out_ << line << '\n';
+    out_.flush();
+    if (!out_)
+        CSIM_FATAL_F("%s: failed writing ledger '%s'",
+                     benchmark_.c_str(), path_.c_str());
+    // The ledger line doubles as the flight-recorder breadcrumb: a
+    // crash dump replays exactly what the ledger last saw.
+    FlightRecorder::note(line.c_str());
+}
+
+void
+RunLedger::sweepBegin(std::uint64_t sweep, std::uint64_t cells,
+                      std::uint64_t jobs, unsigned threads)
+{
+    std::string p = "{";
+    appendField(p, "sweep", sweep);
+    appendField(p, "cells", cells);
+    appendField(p, "jobs", jobs);
+    p += '}';
+    // Worker-thread count varies by invocation: wall side.
+    std::string wall = "{";
+    appendField(wall, "threads", std::uint64_t{threads});
+    wall += '}';
+    event("sweepBegin", p, wall);
+}
+
+void
+RunLedger::jobBegin(std::uint64_t sweep, const std::string &cell,
+                    std::uint64_t seed,
+                    const std::string &config_digest)
+{
+    std::string p = "{";
+    appendField(p, "sweep", sweep);
+    appendField(p, "cell", cell);
+    appendField(p, "seed", seed);
+    appendField(p, "configDigest", config_digest);
+    p += '}';
+    event("jobBegin", p);
+}
+
+void
+RunLedger::jobEnd(std::uint64_t sweep, const std::string &cell,
+                  std::uint64_t seed, std::uint64_t instructions,
+                  std::uint64_t cycles, const std::string &stats_digest)
+{
+    std::string p = "{";
+    appendField(p, "sweep", sweep);
+    appendField(p, "cell", cell);
+    appendField(p, "seed", seed);
+    appendField(p, "instructions", instructions);
+    appendField(p, "cycles", cycles);
+    appendField(p, "cpi",
+                instructions ? static_cast<double>(cycles) /
+                                   static_cast<double>(instructions)
+                             : 0.0);
+    appendField(p, "statsDigest", stats_digest);
+    p += '}';
+    event("jobEnd", p);
+}
+
+void
+RunLedger::cellEnd(std::uint64_t sweep, const std::string &cell,
+                   std::uint64_t seeds, std::uint64_t instructions,
+                   std::uint64_t cycles,
+                   const std::string &stats_digest)
+{
+    std::string p = "{";
+    appendField(p, "sweep", sweep);
+    appendField(p, "cell", cell);
+    appendField(p, "seeds", seeds);
+    appendField(p, "instructions", instructions);
+    appendField(p, "cycles", cycles);
+    appendField(p, "cpi",
+                instructions ? static_cast<double>(cycles) /
+                                   static_cast<double>(instructions)
+                             : 0.0);
+    appendField(p, "statsDigest", stats_digest);
+    p += '}';
+    event("cellEnd", p);
+}
+
+void
+RunLedger::sweepEnd(std::uint64_t sweep, std::uint64_t cells,
+                    std::uint64_t jobs, double wall_seconds)
+{
+    std::string p = "{";
+    appendField(p, "sweep", sweep);
+    appendField(p, "cells", cells);
+    appendField(p, "jobs", jobs);
+    p += '}';
+    std::string wall = "{";
+    appendField(wall, "wallSeconds", wall_seconds);
+    wall += '}';
+    event("sweepEnd", p, wall);
+}
+
+void
+RunLedger::traceHashes(
+    const std::vector<std::pair<std::string, std::string>> &hashes)
+{
+    std::string p = "{";
+    appendKey(p, "traces");
+    p += '[';
+    for (const auto &[key, hash] : hashes) {
+        if (p.back() != '[')
+            p += ',';
+        p += '{';
+        appendField(p, "key", key);
+        appendField(p, "hash", hash);
+        p += '}';
+    }
+    p += "]}";
+    event("traces", p);
+}
+
+void
+RunLedger::benchEnd(std::uint64_t grids, std::uint64_t runs,
+                    std::uint64_t scalars, double wall_seconds)
+{
+    std::string p = "{";
+    appendField(p, "grids", grids);
+    appendField(p, "runs", runs);
+    appendField(p, "scalars", scalars);
+    p += '}';
+    std::string wall = "{";
+    appendField(wall, "wallSeconds", wall_seconds);
+    wall += '}';
+    event("benchEnd", p, wall);
+}
+
+std::uint64_t
+RunLedger::nextSweepIndex()
+{
+    return sweepCounter_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+RunLedger::emitHeartbeat()
+{
+    const double elapsed = elapsedSeconds();
+    const std::uint64_t done =
+        progress_.jobsDone.load(std::memory_order_relaxed);
+    const std::uint64_t total =
+        progress_.jobsTotal.load(std::memory_order_relaxed);
+    const std::uint64_t instructions =
+        progress_.instructionsDone.load(std::memory_order_relaxed);
+    const double mips = elapsed > 0.0
+        ? static_cast<double>(instructions) / elapsed / 1e6 : 0.0;
+    // ETA extrapolates the mean job latency so far onto the backlog;
+    // 0 until the first job lands (no basis) or once the sweep drains.
+    const double eta = done > 0 && total > done
+        ? elapsed / static_cast<double>(done) *
+            static_cast<double>(total - done)
+        : 0.0;
+    const HostMemoryStats mem = sampleHostMemory();
+
+    std::string wall = "{";
+    appendField(wall, "jobsDone", done);
+    appendField(wall, "jobsTotal", total);
+    appendField(wall, "instructions", instructions);
+    appendField(wall, "hostMips", mips);
+    appendField(wall, "etaSeconds", eta);
+    appendField(wall, "rssBytes", mem.currentRssBytes);
+    wall += '}';
+    event("heartbeat", "{}", wall);
+}
+
+void
+RunLedger::startHeartbeat(unsigned period_ms)
+{
+    CSIM_ASSERT(period_ms > 0);
+    stopHeartbeat();
+    {
+        std::lock_guard<std::mutex> lock(heartbeatMutex_);
+        heartbeatStop_ = false;
+    }
+    heartbeat_ = std::thread([this, period_ms] {
+        std::unique_lock<std::mutex> lock(heartbeatMutex_);
+        for (;;) {
+            if (heartbeatCv_.wait_for(
+                    lock, std::chrono::milliseconds(period_ms),
+                    [this] { return heartbeatStop_; }))
+                return;
+            lock.unlock();
+            emitHeartbeat();
+            lock.lock();
+        }
+    });
+}
+
+void
+RunLedger::stopHeartbeat()
+{
+    {
+        std::lock_guard<std::mutex> lock(heartbeatMutex_);
+        heartbeatStop_ = true;
+    }
+    heartbeatCv_.notify_all();
+    if (heartbeat_.joinable())
+        heartbeat_.join();
+}
+
+} // namespace csim

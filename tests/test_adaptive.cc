@@ -476,7 +476,7 @@ TEST(JsonReport, SchemaV6AdaptiveRoundTrip)
     const std::string json = ss.str();
     std::remove(path.c_str());
 
-    EXPECT_NE(json.find("\"schemaVersion\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\":7"), std::string::npos);
     EXPECT_NE(json.find("\"adaptive\":{"), std::string::npos);
     EXPECT_NE(json.find("\"transitions\":"), std::string::npos);
     EXPECT_NE(json.find("\"reverts\":"), std::string::npos);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "common/logging.hh"
@@ -367,6 +368,55 @@ TEST(LoggingDeathTest, PanicFormats)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_DEATH(CSIM_PANIC_F("bad value %d", 42), "bad value 42");
+}
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndDigits)
+{
+    EXPECT_EQ(parseLogLevel("error", "CSIM_LOG"), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("warn", "CSIM_LOG"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("info", "CSIM_LOG"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("debug", "CSIM_LOG"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("trace", "CSIM_LOG"), LogLevel::Trace);
+    EXPECT_EQ(parseLogLevel("0", "CSIM_LOG"), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("2", "CSIM_LOG"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("4", "CSIM_LOG"), LogLevel::Trace);
+}
+
+// A typo in CSIM_LOG must die quoting the source, never silently
+// fall back to the default level.
+TEST(LoggingDeathTest, ParseLogLevelRejectsGarbage)
+{
+    EXPECT_DEATH(parseLogLevel("", "CSIM_LOG"), "CSIM_LOG");
+    EXPECT_DEATH(parseLogLevel(nullptr, "CSIM_LOG"), "CSIM_LOG");
+    EXPECT_DEATH(parseLogLevel("5", "CSIM_LOG"),
+                 "log level '5' is not");
+    EXPECT_DEATH(parseLogLevel("INFO", "CSIM_LOG"),
+                 "log level 'INFO' is not");
+    EXPECT_DEATH(parseLogLevel("debugx", "CSIM_LOG"),
+                 "log level 'debugx' is not");
+    EXPECT_DEATH(parseLogLevel("2 ", "--log"), "--log");
+    EXPECT_DEATH(parseLogLevel("-1", "CSIM_LOG"), "CSIM_LOG");
+}
+
+TEST(Logging, InitLogLevelFromEnv)
+{
+    const LogLevel saved = logLevel();
+    ::setenv("CSIM_LOG", "trace", 1);
+    initLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Trace);
+    ::unsetenv("CSIM_LOG");
+    setLogLevel(LogLevel::Warn);
+    initLogLevelFromEnv(); // unset keeps the current level
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(saved);
+}
+
+TEST(LoggingDeathTest, InitLogLevelFromEnvRejectsGarbage)
+{
+    ::setenv("CSIM_LOG", "verbose", 1);
+    EXPECT_DEATH(initLogLevelFromEnv(),
+                 "CSIM_LOG: log level 'verbose' is not");
+    ::unsetenv("CSIM_LOG");
 }
 
 } // anonymous namespace

@@ -267,7 +267,7 @@ TEST(HostProfJson, SchemaV5RoundTripCarriesHostBlocks)
     const std::string json = ss.str();
     std::remove(path.c_str());
 
-    EXPECT_NE(json.find("\"schemaVersion\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\":7"), std::string::npos);
     // Per-run host block with the derived MIPS (5000 insts / 0.25 s
     // = 0.02 MIPS).
     EXPECT_NE(json.find("\"host\":{\"wallSeconds\":0.25,"

@@ -475,7 +475,7 @@ TEST(JsonReport, BenchContextRoundTrip)
     const std::string json = ss.str();
 
     // Structural spot checks on the emitted document.
-    EXPECT_NE(json.find("\"schemaVersion\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\":7"), std::string::npos);
     EXPECT_NE(json.find("\"benchmark\":\"test_bench\""),
               std::string::npos);
     EXPECT_NE(json.find("\"threads\":"), std::string::npos);

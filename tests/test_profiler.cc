@@ -488,7 +488,7 @@ TEST(JsonReport, SchemaV3IntervalsRoundTrip)
     const std::string json = ss.str();
     std::remove(path.c_str());
 
-    EXPECT_NE(json.find("\"schemaVersion\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\":7"), std::string::npos);
     EXPECT_NE(json.find("\"intervals\":{"), std::string::npos);
     EXPECT_NE(json.find("\"intervalCycles\":500"), std::string::npos);
     EXPECT_NE(json.find("\"mergeCount\":1"), std::string::npos);

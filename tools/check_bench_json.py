@@ -1,25 +1,34 @@
 #!/usr/bin/env python3
-"""Validate a bench binary's --json report (schema versions 1-6).
+"""Validate a bench binary's --json report (schema versions 1-7).
 
 Usage: check_bench_json.py [--min-stats N] [--require-host]
                            report.json [report2.json ...]
 
-Schema (see src/harness/json_report.hh and README "Observability"):
+Schema (see src/harness/json_report.hh, docs/SCHEMA.md and README
+"Observability"):
 
   {
-    "schemaVersion": 6,
+    "schemaVersion": 7,
     "benchmark": "<name>",
     "threads": <int >= 1>,          # v2+
     "wallSeconds": <number >= 0>,   # v2+
+    "provenance": {...},            # v7+
     "grids":   [{"title", "columns", "rows", "averages"}, ...],
     "scalars": {"<name>": <number>, ...},
     "runs":    [{"label": str, "stats": {name: num | distribution},
                  "phases": [...],                # v5+, phased runs
                  "intervals": {...},             # v3+, profiled runs
-                 "adaptive": {...},              # v6, adaptive runs
+                 "adaptive": {...},              # v6+, adaptive runs
                  "host": {...}}],                # v4+, measured runs
     "host":    {...}                             # v4+, optional
   }
+
+The v7 "provenance" block is {"gitSha": str, "buildType": str,
+"buildFlags": str, "hostProf": bool, "cmdline": str,
+"env": {"CSIM_*": str}, "traceHashes": {"<cacheKey>": "<16 hex>"}}.
+Only "cmdline" and "env" describe the invocation itself (and so vary
+between otherwise-identical runs); the rest — including the trace
+content hashes — belongs to the report's deterministic region.
 
 A run's "adaptive" object (v6, present on runs steered by the
 closed-loop adaptive manager) is {"runs": uint >= 1, "intervals",
@@ -280,6 +289,37 @@ def check_host(where, h, version):
             check_stat(name, v)
 
 
+PROVENANCE_KEYS = {"gitSha", "buildType", "buildFlags", "hostProf",
+                   "cmdline", "env", "traceHashes"}
+
+
+def check_provenance(where, p):
+    require(isinstance(p, dict), f"{where}: not an object")
+    require(set(p.keys()) == PROVENANCE_KEYS,
+            f"{where}: keys {sorted(p.keys())} != "
+            f"{sorted(PROVENANCE_KEYS)}")
+    for k in ("gitSha", "buildType", "buildFlags", "cmdline"):
+        require(isinstance(p[k], str),
+                f"{where}.{k} must be a string")
+    require(p["gitSha"], f"{where}.gitSha must be non-empty")
+    require(p["buildType"], f"{where}.buildType must be non-empty")
+    require(isinstance(p["hostProf"], bool),
+            f"{where}.hostProf must be a boolean")
+    require(isinstance(p["env"], dict), f"{where}.env: not an object")
+    for name, v in p["env"].items():
+        require(isinstance(name, str) and name.startswith("CSIM_"),
+                f"{where}.env: '{name}' is not a CSIM_* variable")
+        require(isinstance(v, str),
+                f"{where}.env['{name}'] must be a string")
+    require(isinstance(p["traceHashes"], dict),
+            f"{where}.traceHashes: not an object")
+    for key, h in p["traceHashes"].items():
+        require(isinstance(h, str) and len(h) == 16 and
+                all(c in "0123456789abcdef" for c in h),
+                f"{where}.traceHashes['{key}'] must be 16 lowercase "
+                f"hex digits, got {h!r}")
+
+
 def check_grid(i, g):
     where = f"grids[{i}]"
     require(isinstance(g, dict), f"{where}: not an object")
@@ -313,8 +353,8 @@ def check_report(path, min_stats, require_host=False):
 
     require(isinstance(d, dict), "top level is not an object")
     version = d.get("schemaVersion")
-    require(version in (1, 2, 3, 4, 5, 6),
-            f"schemaVersion {version!r} not in (1, 2, 3, 4, 5, 6)")
+    require(version in (1, 2, 3, 4, 5, 6, 7),
+            f"schemaVersion {version!r} not in (1, 2, 3, 4, 5, 6, 7)")
     require(isinstance(d.get("benchmark"), str) and d["benchmark"],
             "benchmark must be a non-empty string")
     if version >= 2:
@@ -360,6 +400,13 @@ def check_report(path, min_stats, require_host=False):
             require(version >= 4,
                     f"runs[{i}]: 'host' requires schemaVersion 4")
             check_run_host(f"runs[{i}].host", run["host"])
+
+    if "provenance" in d:
+        require(version >= 7, "'provenance' requires schemaVersion 7")
+        check_provenance("provenance", d["provenance"])
+    elif version >= 7:
+        raise SchemaError("schemaVersion 7 requires a 'provenance' "
+                          "block")
 
     if "host" in d:
         require(version >= 4, "'host' requires schemaVersion 4")

@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Validate NDJSON run ledgers (--ledger-out) and prove cross-thread
+determinism.
+
+Usage:
+  check_ledger.py ledger.ndjson [more.ndjson ...]
+  check_ledger.py --diff a.ndjson b.ndjson
+
+Every ledger line is an envelope (see src/obs/run_ledger.hh):
+
+  {"ledger":1,"seq":N,"kind":"<kind>","wall":{...},"payload":{...}}
+
+Validation checks the envelope (exact key set, monotonically
+increasing seq from 0, known kind, a head event first), each kind's
+required payload keys, and the bookkeeping invariants: jobBegin and
+jobEnd counts match per sweep, a closed sweep saw exactly the declared
+number of jobEnd and cellEnd events, and heartbeats carry an empty
+payload (they are wall-clock-only by contract).
+
+--diff enforces the determinism contract between two ledgers of the
+same experiment run at different --threads values:
+
+  * Events emitted sequentially (head, sweepBegin, cellEnd, sweepEnd,
+    traces, benchEnd) must match in order, byte-for-byte on their raw
+    payload text.
+  * Events emitted concurrently by workers (jobBegin, jobEnd) appear
+    in nondeterministic file order, so their raw payloads are compared
+    as sorted multisets.
+  * Heartbeats are wall-only and ignored.
+  * Inside the head's provenance, exactly "cmdline" and "env" are
+    invocation-specific and are stripped before comparison; gitSha,
+    build flags and everything else must match.
+
+Exits non-zero with a one-line diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+ENVELOPE_KEYS = {"ledger", "seq", "kind", "wall", "payload"}
+
+# kind -> required payload keys (None: payload must be exactly {}).
+KINDS = {
+    "head": {"benchmark", "ledgerSchemaVersion", "provenance"},
+    "sweepBegin": {"sweep", "cells", "jobs"},
+    "jobBegin": {"sweep", "cell", "seed", "configDigest"},
+    "jobEnd": {"sweep", "cell", "seed", "instructions", "cycles",
+               "cpi", "statsDigest"},
+    "cellEnd": {"sweep", "cell", "seeds", "instructions", "cycles",
+                "cpi", "statsDigest"},
+    "sweepEnd": {"sweep", "cells", "jobs"},
+    "traces": {"traces"},
+    "benchEnd": {"grids", "runs", "scalars"},
+    "heartbeat": None,
+}
+
+PROVENANCE_KEYS = {"gitSha", "buildType", "buildFlags", "hostProf",
+                   "cmdline", "env"}
+
+HEARTBEAT_WALL_KEYS = {"tMs", "jobsDone", "jobsTotal", "instructions",
+                       "hostMips", "etaSeconds", "rssBytes"}
+
+# Kinds emitted from a single thread, in deterministic order.
+ORDERED_KINDS = {"head", "sweepBegin", "cellEnd", "sweepEnd", "traces",
+                 "benchEnd"}
+# Kinds emitted concurrently by sweep workers (file order varies).
+CONCURRENT_KINDS = {"jobBegin", "jobEnd"}
+
+
+class LedgerError(Exception):
+    pass
+
+
+def raw_payload(line):
+    """The payload's exact bytes as written (it is the last envelope
+    field, so it runs to the line's closing brace)."""
+    marker = '"payload":'
+    at = line.index(marker)
+    return line[at + len(marker):].rstrip()[:-1]
+
+
+def parse(path):
+    """Yield (lineno, line, event) for every non-empty line."""
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise LedgerError(f"{path}:{lineno}: not valid JSON: "
+                                  f"{e}")
+            yield lineno, line, event
+
+
+def check_ledger(path):
+    """Validate one ledger; returns (events, heartbeats) counts."""
+    expected_seq = 0
+    heartbeats = 0
+    # sweep index -> [declared jobs, declared cells, jobBegin, jobEnd,
+    #                 cellEnd, closed]
+    sweeps = {}
+    saw_head = False
+
+    for lineno, line, ev in parse(path):
+        where = f"{path}:{lineno}"
+        if not isinstance(ev, dict) or set(ev) != ENVELOPE_KEYS:
+            raise LedgerError(
+                f"{where}: envelope keys "
+                f"{sorted(ev) if isinstance(ev, dict) else type(ev)} "
+                f"!= {sorted(ENVELOPE_KEYS)}")
+        if ev["ledger"] != 1:
+            raise LedgerError(f"{where}: ledger version {ev['ledger']} "
+                              f"!= 1")
+        if ev["seq"] != expected_seq:
+            raise LedgerError(f"{where}: seq {ev['seq']} != expected "
+                              f"{expected_seq}")
+        expected_seq += 1
+        kind = ev["kind"]
+        if kind not in KINDS:
+            raise LedgerError(f"{where}: unknown kind '{kind}'")
+        wall, payload = ev["wall"], ev["payload"]
+        if not isinstance(wall, dict) or not isinstance(payload, dict):
+            raise LedgerError(f"{where}: wall/payload must be objects")
+        if not isinstance(wall.get("tMs"), (int, float)):
+            raise LedgerError(f"{where}: wall.tMs missing")
+
+        if expected_seq == 1:
+            if kind != "head":
+                raise LedgerError(f"{where}: first event is '{kind}', "
+                                  f"not 'head'")
+            saw_head = True
+        elif kind == "head":
+            raise LedgerError(f"{where}: duplicate head event")
+
+        required = KINDS[kind]
+        if required is None:
+            if payload != {}:
+                raise LedgerError(f"{where}: heartbeat payload must be "
+                                  f"empty (wall-clock-only contract), "
+                                  f"got {sorted(payload)}")
+            missing = HEARTBEAT_WALL_KEYS - set(wall)
+            if missing:
+                raise LedgerError(f"{where}: heartbeat wall lacks "
+                                  f"{sorted(missing)}")
+            heartbeats += 1
+            continue
+        missing = required - set(payload)
+        if missing:
+            raise LedgerError(f"{where}: {kind} payload lacks "
+                              f"{sorted(missing)}")
+
+        if kind == "head":
+            prov = payload["provenance"]
+            if not isinstance(prov, dict) or \
+                    set(prov) != PROVENANCE_KEYS:
+                raise LedgerError(
+                    f"{where}: provenance keys "
+                    f"{sorted(prov) if isinstance(prov, dict) else '?'}"
+                    f" != {sorted(PROVENANCE_KEYS)}")
+        elif kind == "sweepBegin":
+            sweeps[payload["sweep"]] = [payload["jobs"],
+                                        payload["cells"], 0, 0, 0,
+                                        False]
+        elif kind in ("jobBegin", "jobEnd", "cellEnd", "sweepEnd"):
+            s = sweeps.get(payload["sweep"])
+            if s is None:
+                raise LedgerError(f"{where}: {kind} for sweep "
+                                  f"{payload['sweep']} without "
+                                  f"sweepBegin")
+            if s[5]:
+                raise LedgerError(f"{where}: {kind} after sweepEnd of "
+                                  f"sweep {payload['sweep']}")
+            if kind == "jobBegin":
+                s[2] += 1
+            elif kind == "jobEnd":
+                s[3] += 1
+            elif kind == "cellEnd":
+                s[4] += 1
+            else:
+                if s[2] != s[0] or s[3] != s[0]:
+                    raise LedgerError(
+                        f"{where}: sweep {payload['sweep']} declared "
+                        f"{s[0]} jobs but saw {s[2]} jobBegin / "
+                        f"{s[3]} jobEnd")
+                if s[4] != s[1]:
+                    raise LedgerError(
+                        f"{where}: sweep {payload['sweep']} declared "
+                        f"{s[1]} cells but saw {s[4]} cellEnd")
+                s[5] = True
+
+    if not saw_head:
+        raise LedgerError(f"{path}: empty ledger (no head event)")
+    return expected_seq, heartbeats
+
+
+def deterministic_view(path):
+    """(ordered, concurrent) raw-payload views for --diff."""
+    ordered = []
+    concurrent = []
+    for lineno, line, ev in parse(path):
+        kind = ev.get("kind")
+        if kind == "head":
+            # cmdline/env are the two designated invocation-specific
+            # keys; everything else in the head must match, so
+            # re-serialize (sorted) with only those removed.
+            payload = ev["payload"]
+            prov = dict(payload.get("provenance", {}))
+            prov.pop("cmdline", None)
+            prov.pop("env", None)
+            payload = dict(payload, provenance=prov)
+            ordered.append((kind, json.dumps(payload, sort_keys=True)))
+        elif kind in ORDERED_KINDS:
+            ordered.append((kind, raw_payload(line)))
+        elif kind in CONCURRENT_KINDS:
+            concurrent.append((kind, raw_payload(line)))
+        # heartbeats: wall-only, ignored
+    return ordered, sorted(concurrent)
+
+
+def diff(path_a, path_b):
+    for p in (path_a, path_b):
+        check_ledger(p)
+    ord_a, conc_a = deterministic_view(path_a)
+    ord_b, conc_b = deterministic_view(path_b)
+
+    for name, a, b in (("ordered", ord_a, ord_b),
+                       ("concurrent", conc_a, conc_b)):
+        if len(a) != len(b):
+            raise LedgerError(
+                f"{name} event counts differ: {len(a)} in {path_a} "
+                f"vs {len(b)} in {path_b}")
+        for i, (ea, eb) in enumerate(zip(a, b)):
+            if ea != eb:
+                raise LedgerError(
+                    f"{name} event {i} differs:\n"
+                    f"  {path_a}: {ea[0]} {ea[1]}\n"
+                    f"  {path_b}: {eb[0]} {eb[1]}")
+    print(f"OK: {len(ord_a)} ordered + {len(conc_a)} concurrent "
+          f"event payloads identical across "
+          f"{path_a} and {path_b}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--diff", action="store_true",
+                    help="compare two ledgers' deterministic payloads")
+    ap.add_argument("ledgers", nargs="+")
+    args = ap.parse_args()
+
+    try:
+        if args.diff:
+            if len(args.ledgers) != 2:
+                ap.error("--diff takes exactly two ledgers")
+            diff(args.ledgers[0], args.ledgers[1])
+        else:
+            for path in args.ledgers:
+                events, beats = check_ledger(path)
+                print(f"{path}: OK ({events} events, {beats} "
+                      f"heartbeats)")
+    except (LedgerError, OSError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

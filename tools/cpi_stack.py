@@ -20,6 +20,10 @@ cycle counts, suitable for plotting:
   run,interval,start,cycles,commits,base,window,steerStall,bypass,...
 
 --run filters runs by substring match on the label.
+
+A malformed report — unreadable file, invalid JSON, a non-object top
+level, runs whose "intervals" lack the series/cycles keys — exits 1
+with a one-line diagnostic instead of a traceback.
 """
 
 import argparse
@@ -120,18 +124,35 @@ def main():
     ap.add_argument("report")
     args = ap.parse_args()
 
-    with open(args.report) as f:
-        report = json.load(f)
-    if report.get("schemaVersion", 0) < 3:
-        print(f"{args.report}: schemaVersion "
-              f"{report.get('schemaVersion')!r} has no intervals "
-              f"(need 3)", file=sys.stderr)
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except OSError as e:
+        print(f"{args.report}: cannot read: {e}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"{args.report}: not valid JSON: {e}", file=sys.stderr)
+        return 1
+    if not isinstance(report, dict):
+        print(f"{args.report}: top level is not an object",
+              file=sys.stderr)
+        return 1
+    version = report.get("schemaVersion")
+    if not isinstance(version, int) or version < 3:
+        print(f"{args.report}: schemaVersion {version!r} has no "
+              f"intervals (need 3)", file=sys.stderr)
         return 1
 
-    if args.csv:
-        shown = render_csv(report, args.run, sys.stdout)
-    else:
-        shown = render_ascii(report, args.run, args.width, sys.stdout)
+    try:
+        if args.csv:
+            shown = render_csv(report, args.run, sys.stdout)
+        else:
+            shown = render_ascii(report, args.run, args.width,
+                                 sys.stdout)
+    except (KeyError, TypeError, AttributeError) as e:
+        print(f"{args.report}: malformed intervals object: "
+              f"{type(e).__name__}: {e}", file=sys.stderr)
+        return 1
     if shown == 0:
         print(f"{args.report}: no profiled runs matched "
               f"(did the bench run with --profile?)", file=sys.stderr)

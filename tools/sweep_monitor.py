@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Watch a bench's run ledger (--ledger-out) as a live progress table.
+
+Usage: sweep_monitor.py [--follow] [--interval SEC] [--max-cells N]
+                        ledger.ndjson
+
+Reads the NDJSON event stream a bench writes while it runs (see
+src/obs/run_ledger.hh) and renders:
+
+  * a header line with the benchmark, build identity and replay
+    command from the provenance head;
+  * a progress line fed by the wall-clock heartbeats: jobs done/total,
+    committed instructions, live host MIPS, ETA and RSS;
+  * a per-cell table: completed cells with their CPI (from cellEnd),
+    then any cells still in flight (jobBegin without jobEnd yet).
+
+Without --follow it renders the current state once and exits — CI uses
+this to prove a completed ledger renders. With --follow it re-reads
+the (append-only) file every --interval seconds until a benchEnd event
+arrives, printing an updated snapshot whenever something changed.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+class State:
+    def __init__(self):
+        self.benchmark = "?"
+        self.git_sha = "?"
+        self.build_type = "?"
+        self.cmdline = ""
+        self.jobs_total = 0
+        self.jobs_done = 0
+        self.cells_total = 0
+        self.heartbeat = None     # last heartbeat's wall object
+        self.last_wall_ms = 0.0
+        self.cells_done = []      # (label, seeds, instructions, cpi)
+        self.in_flight = {}       # label -> set of seeds begun
+        self.bench_ended = False
+        self.events = 0
+
+
+def feed(state, ev):
+    kind = ev.get("kind")
+    wall = ev.get("wall", {})
+    payload = ev.get("payload", {})
+    state.events += 1
+    state.last_wall_ms = wall.get("tMs", state.last_wall_ms)
+    if kind == "head":
+        prov = payload.get("provenance", {})
+        state.benchmark = payload.get("benchmark", "?")
+        state.git_sha = prov.get("gitSha", "?")
+        state.build_type = prov.get("buildType", "?")
+        state.cmdline = prov.get("cmdline", "")
+    elif kind == "sweepBegin":
+        state.jobs_total += payload.get("jobs", 0)
+        state.cells_total += payload.get("cells", 0)
+    elif kind == "jobBegin":
+        state.in_flight.setdefault(payload.get("cell", "?"),
+                                   set()).add(payload.get("seed"))
+    elif kind == "jobEnd":
+        state.jobs_done += 1
+        cell = payload.get("cell", "?")
+        seeds = state.in_flight.get(cell)
+        if seeds is not None:
+            seeds.discard(payload.get("seed"))
+            if not seeds:
+                del state.in_flight[cell]
+    elif kind == "cellEnd":
+        state.cells_done.append((payload.get("cell", "?"),
+                                 payload.get("seeds", 0),
+                                 payload.get("instructions", 0),
+                                 payload.get("cpi", 0.0)))
+    elif kind == "heartbeat":
+        state.heartbeat = wall
+    elif kind == "benchEnd":
+        state.bench_ended = True
+
+
+def read_state(path):
+    state = State()
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                feed(state, json.loads(line))
+            except json.JSONDecodeError:
+                # A line still being written by the bench; a complete
+                # version of it will be there on the next poll.
+                break
+    return state
+
+
+def fmt_eta(seconds):
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{seconds % 3600 // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render(state, max_cells, out):
+    print(f"{state.benchmark}  git {state.git_sha} "
+          f"({state.build_type})  {state.events} events", file=out)
+    pct = (100.0 * state.jobs_done / state.jobs_total
+           if state.jobs_total else 0.0)
+    line = (f"jobs {state.jobs_done}/{state.jobs_total} ({pct:.0f}%)  "
+            f"cells {len(state.cells_done)}/{state.cells_total}")
+    hb = state.heartbeat
+    if hb:
+        line += (f"  instr {hb.get('instructions', 0):,}"
+                 f"  {hb.get('hostMips', 0.0):.2f} Mips"
+                 f"  eta {fmt_eta(hb.get('etaSeconds', 0.0))}"
+                 f"  rss {hb.get('rssBytes', 0) / 1e6:.0f} MB")
+    else:
+        line += f"  t={state.last_wall_ms / 1e3:.1f}s"
+    print(line, file=out)
+
+    if state.cells_done:
+        shown = state.cells_done[-max_cells:]
+        skipped = len(state.cells_done) - len(shown)
+        width = max(len(label) for label, *_ in shown)
+        if skipped:
+            print(f"  ... {skipped} earlier cells", file=out)
+        for label, seeds, instructions, cpi in shown:
+            print(f"  {label:<{width}}  seeds={seeds}  "
+                  f"instr={instructions}  cpi={cpi:.3f}", file=out)
+    for label, seeds in sorted(state.in_flight.items()):
+        print(f"  {label}  running (seeds {sorted(seeds)})", file=out)
+    if state.bench_ended:
+        print("bench complete", file=out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--follow", action="store_true",
+                    help="poll until the bench ends")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="poll period in seconds (with --follow)")
+    ap.add_argument("--max-cells", type=int, default=40,
+                    help="completed-cell rows to show")
+    ap.add_argument("ledger")
+    args = ap.parse_args()
+
+    try:
+        state = read_state(args.ledger)
+    except OSError as e:
+        print(f"{args.ledger}: cannot read: {e}", file=sys.stderr)
+        return 1
+    render(state, args.max_cells, sys.stdout)
+
+    while args.follow and not state.bench_ended:
+        time.sleep(args.interval)
+        prev = state.events
+        state = read_state(args.ledger)
+        if state.events != prev or state.bench_ended:
+            print(file=sys.stdout)
+            render(state, args.max_cells, sys.stdout)
+
+    if state.events == 0:
+        print(f"{args.ledger}: no events", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe; that's fine.
+        sys.exit(0)

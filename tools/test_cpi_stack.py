@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Regression tests for cpi_stack.py (run by ctest).
+
+cpi_stack.py renders whatever report a user points it at, so malformed
+input — invalid JSON, a non-object top level, a pre-interval schema,
+runs whose "intervals" object lacks the series keys, zero-cycle
+intervals — must produce a one-line diagnostic and a deliberate exit
+status, never a Python traceback and never a ZeroDivisionError.
+Everything here drives the script as a subprocess, exactly as a user
+or CI would.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CPI_STACK = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "cpi_stack.py")
+
+
+def interval(start=0, cycles=100, commits=80, steers=5, **stack):
+    if not stack:
+        stack = {"base": 60, "window": 30, "memory": 10}
+    return {"start": start, "cycles": cycles, "commits": commits,
+            "steers": steers, "cpiStack": stack}
+
+
+def report(version=3, runs=None):
+    return {"schemaVersion": version, "benchmark": "bench_x",
+            "runs": runs if runs is not None else []}
+
+
+def profiled_run(label="gcc/4x2w/focused", series=None):
+    if series is None:
+        series = [interval(0), interval(100, cycles=200, commits=150,
+                                        base=120, window=50, memory=30)]
+    return {"label": label, "intervals": {"series": series}}
+
+
+class CpiStackTest(unittest.TestCase):
+    def render(self, rep, *extra):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "report.json")
+            with open(path, "w") as f:
+                if isinstance(rep, str):
+                    f.write(rep)
+                else:
+                    json.dump(rep, f)
+            return subprocess.run(
+                [sys.executable, CPI_STACK, *extra, path],
+                capture_output=True, text=True)
+
+    def assertCleanFailure(self, proc, needle):
+        """Non-zero exit, the diagnostic present, no traceback."""
+        out = proc.stdout + proc.stderr
+        self.assertNotEqual(proc.returncode, 0, out)
+        self.assertIn(needle, out)
+        self.assertNotIn("Traceback", out)
+
+    def test_valid_report_renders(self):
+        proc = self.render(report(runs=[profiled_run()]))
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("gcc/4x2w/focused", proc.stdout)
+        self.assertIn("cycles=300", proc.stdout)
+        self.assertIn("cpi=", proc.stdout)
+
+    def test_csv_mode_renders(self):
+        proc = self.render(report(runs=[profiled_run()]), "--csv")
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        lines = proc.stdout.strip().splitlines()
+        self.assertEqual(len(lines), 3)  # header + two intervals
+        self.assertTrue(lines[0].startswith("run,interval,start"))
+
+    def test_invalid_json_is_clean_fatal(self):
+        proc = self.render("{not json")
+        self.assertCleanFailure(proc, "not valid JSON")
+
+    def test_missing_file_is_clean_fatal(self):
+        proc = subprocess.run(
+            [sys.executable, CPI_STACK, "/nonexistent/report.json"],
+            capture_output=True, text=True)
+        self.assertCleanFailure(proc, "cannot read")
+
+    def test_non_object_top_level_is_clean_fatal(self):
+        proc = self.render("[1, 2, 3]")
+        self.assertCleanFailure(proc, "top level is not an object")
+
+    def test_pre_interval_schema_is_clean_fatal(self):
+        proc = self.render(report(version=2, runs=[profiled_run()]))
+        self.assertCleanFailure(proc, "schemaVersion")
+
+    def test_missing_schema_version_is_clean_fatal(self):
+        proc = self.render({"runs": [profiled_run()]})
+        self.assertCleanFailure(proc, "schemaVersion")
+
+    def test_intervals_without_series_is_clean_fatal(self):
+        run = {"label": "a", "intervals": {}}
+        proc = self.render(report(runs=[run]))
+        self.assertCleanFailure(proc, "malformed intervals")
+
+    def test_interval_record_missing_cycles_is_clean_fatal(self):
+        rec = interval()
+        del rec["cycles"]
+        proc = self.render(report(runs=[profiled_run(series=[rec])]))
+        self.assertCleanFailure(proc, "malformed intervals")
+
+    def test_intervals_wrong_type_is_clean_fatal(self):
+        run = {"label": "a", "intervals": "not-an-object"}
+        proc = self.render(report(runs=[run]))
+        self.assertCleanFailure(proc, "malformed intervals")
+
+    def test_zero_cycle_run_renders_without_dividing(self):
+        # An all-zero interval (e.g. a run cut short at a phase
+        # boundary) must render blank bars, not ZeroDivisionError.
+        series = [interval(cycles=0, commits=0, steers=0, base=0)]
+        proc = self.render(report(runs=[profiled_run(series=series)]))
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("cycles=0", proc.stdout)
+        self.assertNotIn("Traceback",
+                         proc.stdout + proc.stderr)
+
+    def test_no_profiled_runs_is_reported(self):
+        proc = self.render(report(runs=[{"label": "a"}]))
+        self.assertCleanFailure(proc, "no profiled runs matched")
+
+    def test_run_filter_selects_substring(self):
+        runs = [profiled_run("gcc/4x2w/focused"),
+                profiled_run("gzip/8x1w/modn")]
+        proc = self.render(report(runs=runs), "--run", "gzip")
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+        self.assertIn("gzip/8x1w/modn", proc.stdout)
+        self.assertNotIn("gcc/4x2w/focused", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
